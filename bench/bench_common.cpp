@@ -1,0 +1,202 @@
+#include "bench_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+
+#include "core/measurement.h"
+#include "ml/validation.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace dnacomp::bench {
+
+const std::vector<std::string>& algorithms() {
+  static const std::vector<std::string> algos = {"ctw", "dnax", "gencompress",
+                                                 "gzip"};
+  return algos;
+}
+
+std::string csv_output_path(const std::string& bench_name) {
+  return bench_name + ".csv";
+}
+
+Workbench make_workbench() {
+  Workbench wb;
+
+  sequence::CorpusOptions corpus_opts;
+  if (const char* small = std::getenv("DNACOMP_SMALL");
+      small != nullptr && small[0] == '1') {
+    corpus_opts.synthetic_count = 25;
+    corpus_opts.max_size = 131072;
+  }
+
+  const char* cache_env = std::getenv("DNACOMP_CACHE");
+  core::RealCostOracleOptions oracle_opts;
+  oracle_opts.cache_path =
+      cache_env != nullptr ? cache_env : "dnacomp_measurements.csv";
+
+  util::Stopwatch sw;
+  wb.corpus = sequence::build_corpus(corpus_opts);
+  wb.contexts = cloud::context_grid();
+  wb.split = sequence::split_corpus(wb.corpus.size());
+
+  core::RealCostOracle oracle(oracle_opts);
+  wb.rows = core::run_experiments(wb.corpus, wb.contexts, oracle, wb.config);
+  oracle.save_cache();
+
+  std::printf(
+      "# corpus: %zu files (train %zu / test %zu), %zu contexts, %zu "
+      "algorithms -> %zu rows\n",
+      wb.corpus.size(), wb.split.train.size(), wb.split.test.size(),
+      wb.contexts.size(), wb.config.algorithms.size(), wb.rows.size());
+  std::printf("# measurements: %zu cached / %zu fresh (cache: %s), %.1fs\n\n",
+              oracle.cache_hits(), oracle.cache_misses(),
+              oracle_opts.cache_path.c_str(), sw.elapsed_s());
+  return wb;
+}
+
+double mean_over(
+    const std::vector<core::ExperimentRow>& rows, const std::string& algo,
+    const std::function<bool(const core::ExperimentRow&)>& pred,
+    const std::function<double(const core::ExperimentRow&)>& get) {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const auto& r : rows) {
+    if (r.algorithm == algo && pred(r)) {
+      sum += get(r);
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+void run_validation_bench(const Workbench& wb, core::Method method,
+                          const core::WeightSpec& weights,
+                          const std::string& figure_label,
+                          double paper_accuracy) {
+  const auto cells = core::label_cells(wb.rows, wb.config.algorithms, weights);
+  const auto tables =
+      core::make_tables(cells, wb.config.algorithms, wb.split.test);
+  const auto fit = core::fit_and_evaluate(method, tables);
+
+  std::printf("== %s: %s rules for '%s' labels ==\n", figure_label.c_str(),
+              core::method_name(method).c_str(), weights.label.c_str());
+  std::printf("training rows: %zu, validation rows: %zu\n",
+              tables.train.n_rows(), tables.test.n_rows());
+  std::printf("Accuracy = Cases Matched / Total Cases = %zu / %zu = %.4f "
+              "(paper: %.4f)\n",
+              fit.eval.matched, fit.eval.total, fit.eval.accuracy(),
+              paper_accuracy);
+  std::printf("tree: %zu nodes, %zu leaves\n\n", fit.model->node_count(),
+              fit.model->leaf_count());
+
+  // Confusion matrix.
+  std::printf("%s\n",
+              ml::format_confusion(fit.eval, tables.test.class_names())
+                  .c_str());
+
+  // Gap analysis: the paper's validation charts show "gaps" where the rules
+  // predict the wrong label; report them bucketed by file size and context.
+  struct Bucket {
+    std::size_t total = 0, matched = 0;
+  };
+  auto bucket_of = [](std::size_t bytes) {
+    if (bytes < 50 * 1024) return 0;
+    if (bytes < 200 * 1024) return 1;
+    return 2;
+  };
+  const char* bucket_names[] = {"<50KB", "50-200KB", ">=200KB"};
+  Bucket by_size[3];
+  Bucket small_low_ram_cpu;  // the paper's CHAID failure region
+  for (std::size_t i = 0; i < tables.test_cells.size(); ++i) {
+    const auto* cell = tables.test_cells[i];
+    const bool ok = fit.eval.predictions[i] == cell->winner;
+    auto& b = by_size[bucket_of(cell->file_bytes)];
+    ++b.total;
+    b.matched += ok ? 1 : 0;
+    if (cell->file_bytes < 50 * 1024 && cell->context.ram_gb < 2.5 &&
+        cell->context.cpu_ghz <= 2.4) {
+      ++small_low_ram_cpu.total;
+      small_low_ram_cpu.matched += ok ? 1 : 0;
+    }
+  }
+  std::printf("validation accuracy by file size:\n");
+  for (int b = 0; b < 3; ++b) {
+    std::printf("  %-9s %5zu rows, accuracy %.4f\n", bucket_names[b],
+                by_size[b].total,
+                by_size[b].total == 0
+                    ? 0.0
+                    : static_cast<double>(by_size[b].matched) /
+                          static_cast<double>(by_size[b].total));
+  }
+  if (small_low_ram_cpu.total > 0) {
+    std::printf(
+        "  (<50KB & RAM<2GB & CPU<=2.4GHz — the paper's CHAID gap region: "
+        "%zu rows, accuracy %.4f)\n",
+        small_low_ram_cpu.total,
+        static_cast<double>(small_low_ram_cpu.matched) /
+            static_cast<double>(small_low_ram_cpu.total));
+  }
+
+  // Context-analysis series (figs 10/12/14/16): normalized CPU, RAM and
+  // file size with the match/mismatch result line, first 88 rows, to CSV.
+  const std::string csv_path = csv_output_path(figure_label);
+  std::ofstream csv(csv_path, std::ios::binary);
+  csv << "row_id,file_kb,norm_file,norm_cpu,norm_ram,match\n";
+  std::vector<double> sizes, cpus, rams;
+  for (const auto* cell : tables.test_cells) {
+    sizes.push_back(static_cast<double>(cell->file_bytes));
+    cpus.push_back(cell->context.cpu_ghz);
+    rams.push_back(cell->context.ram_gb);
+  }
+  const auto ns = util::min_max_normalize(sizes);
+  const auto nc = util::min_max_normalize(cpus);
+  const auto nr = util::min_max_normalize(rams);
+  const std::size_t limit = std::min<std::size_t>(88, ns.size());
+  for (std::size_t i = 0; i < ns.size(); ++i) {
+    const int match =
+        fit.eval.predictions[i] == tables.test_cells[i]->winner ? 1 : -1;
+    csv << i << ',' << sizes[i] / 1024.0 << ',' << ns[i] << ',' << nc[i]
+        << ',' << nr[i] << ',' << match << '\n';
+  }
+  std::printf("\ncontext-analysis series (first %zu of %zu rows) -> %s\n",
+              limit, ns.size(), csv_path.c_str());
+
+  // Robustness of the fixed 99/33 file split: 5-fold cross-validation with
+  // whole files kept in one fold (all 32 context rows of a file share its
+  // compressibility, so splitting them would leak).
+  {
+    ml::DataTable all_rows(core::feature_names(),
+                           tables.train.class_names());
+    std::vector<std::size_t> file_groups;
+    for (const auto& cell : cells) {
+      all_rows.add_row(core::cell_features(cell), cell.winner);
+      file_groups.push_back(cell.file_index);
+    }
+    const ml::Trainer trainer =
+        [method](const ml::DataTable& train) -> std::unique_ptr<ml::Classifier> {
+      if (method == core::Method::kChaid) return ml::ChaidClassifier::fit(train);
+      return ml::CartClassifier::fit(train);
+    };
+    const auto cv = ml::cross_validate(all_rows, trainer, 5, 2015, file_groups);
+    std::printf("\n5-fold grouped cross-validation (whole files per fold): "
+                "%.4f +- %.4f\n",
+                cv.mean, cv.stddev);
+  }
+
+  // Rules, as the framework would store them, plus a Graphviz rendering.
+  std::printf("\nlearned rules (%zu):\n", fit.model->rules().size());
+  for (const auto& rule : fit.model->rules()) {
+    std::printf("  %s\n", rule.c_str());
+  }
+  const std::string dot_path = figure_label + ".dot";
+  std::ofstream dot(dot_path, std::ios::binary);
+  dot << ml::rules_to_dot(*fit.model, "selector");
+  std::printf("rule tree -> %s (render with: dot -Tpng %s -o tree.png)\n\n",
+              dot_path.c_str(), dot_path.c_str());
+}
+
+}  // namespace dnacomp::bench

@@ -1,0 +1,53 @@
+// Shared plumbing for the figure/table reproduction benches.
+//
+// Every bench binary regenerates one table or figure of the paper from the
+// same experiment grid: the 132-file corpus x 32 contexts x 4 algorithms.
+// Base measurements are real compressor runs, cached on disk (first bench
+// execution pays the measurement cost, the rest reuse it). Set
+// DNACOMP_CACHE to override the cache path, DNACOMP_SMALL=1 for a reduced
+// corpus during development.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "core/labeling.h"
+#include "core/training.h"
+#include "sequence/corpus.h"
+
+namespace dnacomp::bench {
+
+struct Workbench {
+  std::vector<sequence::CorpusFile> corpus;
+  std::vector<cloud::VmSpec> contexts;
+  core::ExperimentConfig config;
+  std::vector<core::ExperimentRow> rows;
+  sequence::CorpusSplit split;
+};
+
+// Builds the corpus, runs (or loads) the measurements and projects the full
+// grid. Prints a short provenance header to stdout.
+Workbench make_workbench();
+
+// Mean of `get(row)` over all rows matching algorithm + context predicate.
+double mean_over(const std::vector<core::ExperimentRow>& rows,
+                 const std::string& algo,
+                 const std::function<bool(const core::ExperimentRow&)>& pred,
+                 const std::function<double(const core::ExperimentRow&)>& get);
+
+// The four paper algorithms in the run order.
+const std::vector<std::string>& algorithms();
+
+// Write a CSV file next to the console output; path is returned.
+std::string csv_output_path(const std::string& bench_name);
+
+// Per-figure validation-series helpers (figs 9-16): fit, evaluate and print
+// the match/gap series plus the normalized context analysis the paper plots.
+void run_validation_bench(const Workbench& wb, core::Method method,
+                          const core::WeightSpec& weights,
+                          const std::string& figure_label,
+                          double paper_accuracy);
+
+}  // namespace dnacomp::bench

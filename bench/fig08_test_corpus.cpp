@@ -1,0 +1,68 @@
+// Figure 8 — "File Size w.r.t Row Id / Number of Records": the validation
+// set layout. 33 test files x 32 contexts = 1056 rows; the figure plots the
+// file size for each row id.
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "bench_common.h"
+#include "util/csv.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+using namespace dnacomp;
+
+int main() {
+  const auto wb = bench::make_workbench();
+
+  const auto cells = core::label_cells(wb.rows, wb.config.algorithms,
+                                       core::WeightSpec::total_time());
+  const auto tables =
+      core::make_tables(cells, wb.config.algorithms, wb.split.test);
+
+  std::printf("== Figure 8: validation-set file size per row id ==\n\n");
+  std::printf("test rows: %zu (paper: 33 files x 32 contexts = 1056)\n\n",
+              tables.test_cells.size());
+
+  std::ofstream csv(bench::csv_output_path("fig08_test_corpus"),
+                    std::ios::binary);
+  util::CsvWriter w(csv);
+  w.row({"row_id", "file", "file_kb"});
+  std::vector<double> sizes;
+  for (std::size_t i = 0; i < tables.test_cells.size(); ++i) {
+    const auto* cell = tables.test_cells[i];
+    sizes.push_back(static_cast<double>(cell->file_bytes) / 1024.0);
+    w.field(std::uint64_t{i})
+        .field(cell->file_name)
+        .field(static_cast<double>(cell->file_bytes) / 1024.0);
+    w.end_row();
+  }
+
+  const auto s = util::summarize(sizes);
+  std::printf("file sizes (KB): min %.1f, median %.1f, mean %.1f, max %.1f\n",
+              s.min, s.median, s.mean, s.max);
+
+  // Text sparkline of file size vs row id (one mark per test file).
+  std::printf("\nfile size per test file (each bar = one file, 32 rows "
+              "each):\n");
+  util::TablePrinter table({"test file", "size", "bar (log scale)"});
+  double max_log = 0;
+  for (const auto idx : wb.split.test) {
+    max_log = std::max(max_log,
+                       std::log2(static_cast<double>(
+                           wb.corpus[idx].data.size())));
+  }
+  for (const auto idx : wb.split.test) {
+    const double l =
+        std::log2(static_cast<double>(wb.corpus[idx].data.size()));
+    const auto bar_len = static_cast<std::size_t>(l / max_log * 48.0);
+    table.add_row({wb.corpus[idx].name,
+                   util::TablePrinter::bytes(wb.corpus[idx].data.size()),
+                   std::string(bar_len, '#')});
+  }
+  table.print(std::cout);
+  std::printf("\nfull per-row series -> %s\n",
+              bench::csv_output_path("fig08_test_corpus").c_str());
+  return 0;
+}

@@ -1,0 +1,15 @@
+// Figures 9 & 10 — CHAID rules for total time (100% weight), validated on
+// the held-out 1056 rows, with the context analysis of where the rules fail
+// (paper: accuracy 0.946; gaps at files < 50 KB with RAM < 2 GB and CPU <=
+// 2393 MHz where the GenCompress label is missed).
+#include "bench_common.h"
+
+using namespace dnacomp;
+
+int main() {
+  const auto wb = bench::make_workbench();
+  bench::run_validation_bench(wb, core::Method::kChaid,
+                              core::WeightSpec::total_time(),
+                              "fig09_10_chaid_time", 0.946);
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Figures 13 & 14 — CHAID rules for RAM used (100% weight). The paper
+// reports accuracy 0.3614: RAM labels are nearly unlearnable because
+// observed RAM is dominated by CPU-load-correlated noise and process
+// overhead ("the RAM consumption also depends on CPU usage which is not
+// consistent").
+#include "bench_common.h"
+
+using namespace dnacomp;
+
+int main() {
+  const auto wb = bench::make_workbench();
+  bench::run_validation_bench(wb, core::Method::kChaid,
+                              core::WeightSpec::ram_only(),
+                              "fig13_14_chaid_ram", 0.3614);
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Figures 15 & 16 — CART rules for RAM used (100% weight). Paper accuracy:
+// 0.3342 ("CART doesn't give good results same as CHAID and there is only
+// difference of 3%").
+#include "bench_common.h"
+
+using namespace dnacomp;
+
+int main() {
+  const auto wb = bench::make_workbench();
+  bench::run_validation_bench(wb, core::Method::kCart,
+                              core::WeightSpec::ram_only(),
+                              "fig15_16_cart_ram", 0.3342);
+  return 0;
+}

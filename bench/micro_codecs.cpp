@@ -1,0 +1,146 @@
+// Google-benchmark microbenchmarks for the codec primitives and the four
+// compressors. These are throughput numbers, not figure reproductions —
+// useful for regression-testing the hot paths.
+#include <benchmark/benchmark.h>
+
+#include "bitio/bit_stream.h"
+#include "sequence/alphabet.h"
+#include "bitio/fibonacci.h"
+#include "bitio/huffman.h"
+#include "bitio/models.h"
+#include "bitio/range_coder.h"
+#include "compressors/compressor.h"
+#include "compressors/gzipx/lz77.h"
+#include "sequence/generator.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace dnacomp;
+
+const std::string& probe_64k() {
+  static const std::string s = [] {
+    sequence::GeneratorParams gp;
+    gp.length = 64 * 1024;
+    gp.seed = 4242;
+    return sequence::generate_dna(gp);
+  }();
+  return s;
+}
+
+void BM_BitWriter(benchmark::State& state) {
+  util::Xoshiro256 rng(1);
+  std::vector<std::uint32_t> values(4096);
+  for (auto& v : values) v = static_cast<std::uint32_t>(rng.next());
+  for (auto _ : state) {
+    bitio::BitWriter bw;
+    for (const auto v : values) bw.write_bits(v, 17);
+    benchmark::DoNotOptimize(bw.finish());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          4096 * 17 / 8);
+}
+BENCHMARK(BM_BitWriter);
+
+void BM_RangeCoderEncode(benchmark::State& state) {
+  util::Xoshiro256 rng(2);
+  std::vector<unsigned> bits(65536);
+  for (auto& b : bits) b = rng.next_bool(0.3) ? 1u : 0u;
+  for (auto _ : state) {
+    bitio::RangeEncoder enc;
+    bitio::AdaptiveBitModel model;
+    for (const auto b : bits) model.encode(enc, b);
+    benchmark::DoNotOptimize(enc.finish());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          65536);
+}
+BENCHMARK(BM_RangeCoderEncode);
+
+void BM_Order2BaseModel(benchmark::State& state) {
+  const auto codes = *sequence::encode_bases(probe_64k());
+  for (auto _ : state) {
+    bitio::RangeEncoder enc;
+    bitio::OrderKBaseModel model(2);
+    for (const auto c : codes) model.encode(enc, c);
+    benchmark::DoNotOptimize(enc.finish());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(codes.size()));
+}
+BENCHMARK(BM_Order2BaseModel);
+
+void BM_FibonacciEncode(benchmark::State& state) {
+  util::Xoshiro256 rng(3);
+  std::vector<std::uint64_t> values(8192);
+  for (auto& v : values) v = 1 + rng.next_below(1 << 20);
+  for (auto _ : state) {
+    bitio::BitWriter bw;
+    for (const auto v : values) bitio::fibonacci_encode(bw, v);
+    benchmark::DoNotOptimize(bw.finish());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          8192);
+}
+BENCHMARK(BM_FibonacciEncode);
+
+void BM_HuffmanBuild(benchmark::State& state) {
+  util::Xoshiro256 rng(4);
+  std::vector<std::uint64_t> freqs(286);
+  for (auto& f : freqs) f = rng.next_below(10000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bitio::huffman_code_lengths(freqs, 15));
+  }
+}
+BENCHMARK(BM_HuffmanBuild);
+
+void BM_Lz77Tokenize(benchmark::State& state) {
+  const auto& s = probe_64k();
+  const std::vector<std::uint8_t> data(s.begin(), s.end());
+  compressors::Lz77Matcher matcher;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matcher.tokenize(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(data.size()));
+}
+BENCHMARK(BM_Lz77Tokenize);
+
+void BM_Compress(benchmark::State& state, const char* name) {
+  const auto codec = compressors::make_compressor(name);
+  const auto& s = probe_64k();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec->compress_str(s));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(s.size()));
+}
+BENCHMARK_CAPTURE(BM_Compress, ctw, "ctw");
+BENCHMARK_CAPTURE(BM_Compress, dnax, "dnax");
+BENCHMARK_CAPTURE(BM_Compress, gencompress, "gencompress");
+BENCHMARK_CAPTURE(BM_Compress, gzip, "gzip");
+BENCHMARK_CAPTURE(BM_Compress, bio2, "bio2");
+BENCHMARK_CAPTURE(BM_Compress, xm, "xm");
+BENCHMARK_CAPTURE(BM_Compress, dnapack, "dnapack");
+
+void BM_Decompress(benchmark::State& state, const char* name) {
+  const auto codec = compressors::make_compressor(name);
+  const auto& s = probe_64k();
+  const auto compressed = codec->compress_str(s);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec->decompress_str(compressed));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(s.size()));
+}
+BENCHMARK_CAPTURE(BM_Decompress, ctw, "ctw");
+BENCHMARK_CAPTURE(BM_Decompress, dnax, "dnax");
+BENCHMARK_CAPTURE(BM_Decompress, gencompress, "gencompress");
+BENCHMARK_CAPTURE(BM_Decompress, gzip, "gzip");
+BENCHMARK_CAPTURE(BM_Decompress, bio2, "bio2");
+BENCHMARK_CAPTURE(BM_Decompress, xm, "xm");
+BENCHMARK_CAPTURE(BM_Decompress, dnapack, "dnapack");
+
+}  // namespace
+
+BENCHMARK_MAIN();

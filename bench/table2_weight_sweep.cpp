@@ -1,0 +1,105 @@
+// Table 2 — "Accuracy of generated Rules": the full sweep of labeling
+// weight combinations x {CART, CHAID}, reproducing the paper's finding that
+// single-variable TIME labels reach ~95%+, RAM labels ~33-36%, and every
+// mixed RAM/TIME weighting lands far below the pure-time models.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "bench_common.h"
+#include "util/csv.h"
+#include "util/table.h"
+
+using namespace dnacomp;
+
+namespace {
+
+// Paper Table 2 values for the same (method, weights) rows, for side-by-side
+// comparison. Indexed in table2_weight_specs() order, {CART, CHAID}.
+struct PaperRow {
+  const char* label;
+  double cart;
+  double chaid;
+};
+constexpr PaperRow kPaper[] = {
+    {"RAM 100", 0.3350, 0.3614},
+    {"TIME 100", 0.9620, 0.9460},
+    {"CompressionTime 100", 0.9848, 0.9848},
+    {"RAM:TIME 60:40", 0.3523, 0.3542},
+    {"RAM:TIME 40:60", 0.4432, 0.3977},
+    {"RAM:TIME 70:30", 0.3523, 0.3542},
+    {"RAM:TIME 30:70", 0.4280, 0.4129},
+    {"RAM:TIME 80:20", 0.3011, 0.3542},
+    {"RAM:TIME 20:80", 0.4280, 0.3864},
+    {"RAM:TIME 90:10", 0.3390, 0.3390},
+    {"RAM:TIME 10:90", 0.4583, 0.3655},
+    {"RAM:CompTime 50:50", 0.3864, 0.3523},
+    {"RAM:CompTime:UploadTime 33.3333:33.3333:33.3333", 0.2254, 0.2765},
+    {"RAM:CompTime:UploadTime 20:40:40", 0.4394, 0.3750},
+    {"RAM:CompTime:UploadTime 40:40:20", 0.4545, 0.3826},
+    {"RAM:CompTime:UploadTime 40:50:10", 0.4261, 0.3977},
+};
+
+}  // namespace
+
+int main() {
+  const auto wb = bench::make_workbench();
+
+  const auto specs = core::table2_weight_specs();
+  const auto entries = core::accuracy_sweep(wb.rows, wb.config.algorithms,
+                                            specs, wb.split.test);
+
+  std::printf("== Table 2: accuracy of generated rules ==\n\n");
+  util::TablePrinter table({"weights", "CART (ours)", "CART (paper)",
+                            "CHAID (ours)", "CHAID (paper)"});
+  std::ofstream csv(bench::csv_output_path("table2_weight_sweep"),
+                    std::ios::binary);
+  util::CsvWriter w(csv);
+  w.row({"weights", "cart_ours", "cart_paper", "chaid_ours", "chaid_paper"});
+
+  for (std::size_t s = 0; s < specs.size(); ++s) {
+    // accuracy_sweep order: per spec, CART first then CHAID.
+    const auto& cart = entries[2 * s];
+    const auto& chaid = entries[2 * s + 1];
+    const double paper_cart = s < std::size(kPaper) ? kPaper[s].cart : 0.0;
+    const double paper_chaid = s < std::size(kPaper) ? kPaper[s].chaid : 0.0;
+    table.add_row({specs[s].label,
+                   util::TablePrinter::num(cart.accuracy, 4),
+                   util::TablePrinter::num(paper_cart, 4),
+                   util::TablePrinter::num(chaid.accuracy, 4),
+                   util::TablePrinter::num(paper_chaid, 4)});
+    w.field(specs[s].label)
+        .field(cart.accuracy)
+        .field(paper_cart)
+        .field(chaid.accuracy)
+        .field(paper_chaid);
+    w.end_row();
+  }
+  table.print(std::cout);
+
+  // Shape checks the paper's conclusions rest on.
+  double time_best = 0, ram_best = 0, mixed_best = 0;
+  for (const auto& e : entries) {
+    const auto& label = e.weights.label;
+    if (label == "TIME 100" || label == "CompressionTime 100") {
+      time_best = std::max(time_best, e.accuracy);
+    } else if (label == "RAM 100") {
+      ram_best = std::max(ram_best, e.accuracy);
+    } else {
+      mixed_best = std::max(mixed_best, e.accuracy);
+    }
+  }
+  std::printf(
+      "\nsingle-variable time labels: best %.4f (paper up to 0.9848)\n"
+      "RAM labels: best %.4f (paper up to 0.3614)\n"
+      "mixed weights: best %.4f (paper max 0.4583)\n",
+      time_best, ram_best, mixed_best);
+  std::printf(
+      "paper conclusion — \"If we train data over individual dependent "
+      "variables separately ... up to 95%%. On the contrary, training by "
+      "assigning different weights ... max 45%%\": %s\n",
+      (time_best > 0.90 && ram_best < 0.50 && mixed_best < time_best)
+          ? "REPRODUCED"
+          : "NOT reproduced");
+  return 0;
+}

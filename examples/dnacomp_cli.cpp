@@ -1,0 +1,258 @@
+// dnacomp_cli — command-line front end for the library.
+//
+//   dnacomp_cli list
+//   dnacomp_cli cleanse <in.fa> <out.txt>
+//   dnacomp_cli compress -a <algo> <in> <out.dcz>
+//   dnacomp_cli compress --reference <ref.fa> <in> <out.dcz>   (vertical mode)
+//   dnacomp_cli decompress [--reference <ref.fa>] <in.dcz> <out>
+//   dnacomp_cli info <in.dcz>
+//   dnacomp_cli select [--bandwidth <mbps>] <in>
+//
+// Compression input may be raw sequence text or FASTA; it is cleansed
+// automatically (the framework's Fig. 7 pipeline). Decompression emits pure
+// ACGT text.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "compressors/compressor.h"
+#include "compressors/vertical/refcompress.h"
+#include "core/framework.h"
+#include "sequence/cleanser.h"
+#include "util/timer.h"
+
+using namespace dnacomp;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  dnacomp_cli list\n"
+      "  dnacomp_cli cleanse <in> <out>\n"
+      "  dnacomp_cli compress -a <algo> <in> <out>\n"
+      "  dnacomp_cli compress --reference <ref> <in> <out>\n"
+      "  dnacomp_cli decompress [--reference <ref>] <in> <out>\n"
+      "  dnacomp_cli info <in>\n"
+      "  dnacomp_cli select [--bandwidth <mbps>] <in>\n");
+  return 2;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is.good()) {
+    throw std::runtime_error("cannot open " + path);
+  }
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  return ss.str();
+}
+
+void write_file(const std::string& path, std::span<const std::uint8_t> data) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os.good()) {
+    throw std::runtime_error("cannot open " + path + " for writing");
+  }
+  os.write(reinterpret_cast<const char*>(data.data()),
+           static_cast<std::streamsize>(data.size()));
+}
+
+std::string cleanse_file(const std::string& path,
+                         sequence::CleanseReport* report = nullptr) {
+  auto res = sequence::cleanse(read_file(path));
+  if (report != nullptr) *report = res.report;
+  return std::move(res.sequence);
+}
+
+int cmd_list() {
+  std::printf("paper algorithms:\n");
+  for (const auto& c : compressors::make_all_compressors(false)) {
+    std::printf("  %-12s (%s)\n", std::string(c->name()).c_str(),
+                std::string(c->family()).c_str());
+  }
+  std::printf("extensions:\n");
+  std::printf("  %-12s (%s)\n", "bio2", "substitution, BioCompress-2 style");
+  std::printf("  %-12s (%s)\n", "xm", "statistical, expert model");
+  std::printf("  %-12s (%s)\n", "dnapack", "substitution-approximate, DP parse");
+  std::printf("  %-12s (%s)\n", "vertical",
+              "reference-based; use --reference");
+  return 0;
+}
+
+int cmd_cleanse(const std::string& in, const std::string& out) {
+  sequence::CleanseReport report;
+  const auto seq = cleanse_file(in, &report);
+  write_file(out, {reinterpret_cast<const std::uint8_t*>(seq.data()),
+                   seq.size()});
+  std::printf(
+      "%zu bytes -> %zu bases (headers removed: %zu, ambiguity resolved: "
+      "%zu)\n",
+      report.input_bytes, report.output_bases, report.header_lines_removed,
+      report.ambiguity_resolved);
+  return 0;
+}
+
+int cmd_compress(const std::string& algo, const std::string& reference,
+                 const std::string& in, const std::string& out) {
+  const auto seq = cleanse_file(in);
+  util::Stopwatch sw;
+  std::vector<std::uint8_t> packed;
+  if (!reference.empty()) {
+    const compressors::RefCompressor codec(cleanse_file(reference));
+    packed = codec.compress(seq);
+  } else {
+    const auto codec = compressors::make_compressor(algo);
+    if (codec == nullptr) {
+      std::fprintf(stderr, "unknown algorithm: %s (try 'list')\n",
+                   algo.c_str());
+      return 2;
+    }
+    packed = codec->compress_str(seq);
+  }
+  const double ms = sw.elapsed_ms();
+  write_file(out, packed);
+  std::printf("%zu bases -> %zu bytes (%.3f bpc) in %.1f ms\n", seq.size(),
+              packed.size(),
+              seq.empty() ? 0.0
+                          : 8.0 * static_cast<double>(packed.size()) /
+                                static_cast<double>(seq.size()),
+              ms);
+  return 0;
+}
+
+int cmd_decompress(const std::string& reference, const std::string& in,
+                   const std::string& out) {
+  const auto raw = read_file(in);
+  const std::span<const std::uint8_t> data(
+      reinterpret_cast<const std::uint8_t*>(raw.data()), raw.size());
+  if (data.size() < 3 || data[0] != 'D' || data[1] != 'C') {
+    std::fprintf(stderr, "%s is not a dnacomp stream\n", in.c_str());
+    return 2;
+  }
+  util::Stopwatch sw;
+  std::string text;
+  if (data[2] == 6) {  // vertical stream
+    if (reference.empty()) {
+      std::fprintf(stderr,
+                   "vertical stream: pass --reference <the same reference "
+                   "used to compress>\n");
+      return 2;
+    }
+    const compressors::RefCompressor codec(cleanse_file(reference));
+    text = codec.decompress(data);
+  } else {
+    const auto name = compressors::algorithm_name(
+        static_cast<compressors::AlgorithmId>(data[2]));
+    const auto codec = compressors::make_compressor(name);
+    if (codec == nullptr) {
+      std::fprintf(stderr, "stream uses unknown algorithm id %u\n", data[2]);
+      return 2;
+    }
+    text = codec->decompress_str(data);
+  }
+  write_file(out, {reinterpret_cast<const std::uint8_t*>(text.data()),
+                   text.size()});
+  std::printf("%zu bytes -> %zu bases in %.1f ms\n", data.size(), text.size(),
+              sw.elapsed_ms());
+  return 0;
+}
+
+int cmd_info(const std::string& in) {
+  const auto raw = read_file(in);
+  const std::span<const std::uint8_t> data(
+      reinterpret_cast<const std::uint8_t*>(raw.data()), raw.size());
+  if (data.size() < 4 || data[0] != 'D' || data[1] != 'C') {
+    std::fprintf(stderr, "%s is not a dnacomp stream\n", in.c_str());
+    return 2;
+  }
+  std::size_t pos = 3;
+  const auto original = compressors::get_varint(data, &pos);
+  if (data[2] == 6) {
+    const auto fp = compressors::get_varint(data, &pos);
+    std::printf("vertical (reference-based) stream\n");
+    std::printf("original: %llu bases, reference fingerprint %016llx\n",
+                static_cast<unsigned long long>(original),
+                static_cast<unsigned long long>(fp));
+  } else {
+    std::printf("algorithm: %s\n",
+                std::string(compressors::algorithm_name(
+                                static_cast<compressors::AlgorithmId>(data[2])))
+                    .c_str());
+    std::printf("original: %llu bases\n",
+                static_cast<unsigned long long>(original));
+  }
+  std::printf("stream: %zu bytes (%.3f bpc)\n", data.size(),
+              original == 0 ? 0.0
+                            : 8.0 * static_cast<double>(data.size()) /
+                                  static_cast<double>(original));
+  return 0;
+}
+
+int cmd_select(double bandwidth_mbps, const std::string& in) {
+  const auto seq = cleanse_file(in);
+  core::AnalyticCostOracle oracle;
+  core::EngineTrainingOptions opts;
+  opts.corpus.synthetic_count = 40;
+  opts.corpus.max_size = 262144;
+  const auto engine = core::train_inference_engine(oracle, opts);
+  const core::ContextGatherer gatherer(bandwidth_mbps);
+  const auto ctx = gatherer.gather();
+  std::printf("context: %.1f GB RAM, %.2f GHz CPU, %.0f Mbit/s uplink\n",
+              ctx.ram_gb, ctx.cpu_ghz, ctx.bandwidth_mbps);
+  const cloud::TransferModel transfer;
+  if (!engine.should_compress(ctx, seq.size(), transfer)) {
+    std::printf("recommendation: send raw (compression would not pay off)\n");
+    return 0;
+  }
+  std::printf("recommendation: %s for %zu bases\n",
+              engine.decide(ctx, seq.size()).c_str(), seq.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    if (argc < 2) return usage();
+    const std::string cmd = argv[1];
+    std::string algo = "dnax", reference;
+    double bandwidth = 8.0;
+    std::vector<std::string> positional;
+    for (int i = 2; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "-a" && i + 1 < argc) {
+        algo = argv[++i];
+      } else if (arg == "--reference" && i + 1 < argc) {
+        reference = argv[++i];
+      } else if (arg == "--bandwidth" && i + 1 < argc) {
+        bandwidth = std::stod(argv[++i]);
+      } else {
+        positional.push_back(arg);
+      }
+    }
+    if (cmd == "list") return cmd_list();
+    if (cmd == "cleanse" && positional.size() == 2) {
+      return cmd_cleanse(positional[0], positional[1]);
+    }
+    if (cmd == "compress" && positional.size() == 2) {
+      return cmd_compress(algo, reference, positional[0], positional[1]);
+    }
+    if (cmd == "decompress" && positional.size() == 2) {
+      return cmd_decompress(reference, positional[0], positional[1]);
+    }
+    if (cmd == "info" && positional.size() == 1) {
+      return cmd_info(positional[0]);
+    }
+    if (cmd == "select" && positional.size() == 1) {
+      return cmd_select(bandwidth, positional[0]);
+    }
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

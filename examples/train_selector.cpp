@@ -1,0 +1,79 @@
+// Researcher workflow: build the corpus, run the experiment grid, label it
+// with the paper's equation, induce CHAID and CART rules, and inspect them.
+//
+//   ./train_selector          (fast: analytic cost oracle)
+//   ./train_selector --real   (measure the actual compressors; cached)
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <memory>
+
+#include "core/experiment.h"
+#include "core/labeling.h"
+#include "core/measurement.h"
+#include "core/training.h"
+#include "util/table.h"
+
+using namespace dnacomp;
+
+int main(int argc, char** argv) {
+  const bool real = argc > 1 && std::strcmp(argv[1], "--real") == 0;
+
+  sequence::CorpusOptions corpus_opts;
+  if (!real) {
+    corpus_opts.synthetic_count = 57;  // 64 files: quick demo
+    corpus_opts.max_size = 262144;
+  }
+  const auto corpus = sequence::build_corpus(corpus_opts);
+  const auto contexts = cloud::context_grid();
+  const auto split = sequence::split_corpus(corpus.size());
+
+  std::unique_ptr<core::CostOracle> oracle;
+  if (real) {
+    core::RealCostOracleOptions oracle_opts;
+    oracle_opts.cache_path = "dnacomp_measurements.csv";
+    oracle = std::make_unique<core::RealCostOracle>(oracle_opts);
+    std::printf("measuring the real compressors over %zu files "
+                "(cached in %s)...\n",
+                corpus.size(), oracle_opts.cache_path.c_str());
+  } else {
+    oracle = std::make_unique<core::AnalyticCostOracle>();
+  }
+
+  core::ExperimentConfig cfg;
+  const auto rows = core::run_experiments(corpus, contexts, *oracle, cfg);
+  std::printf("experiment grid: %zu rows (%zu files x %zu contexts x %zu "
+              "algorithms)\n\n",
+              rows.size(), corpus.size(), contexts.size(),
+              cfg.algorithms.size());
+
+  const auto cells =
+      core::label_cells(rows, cfg.algorithms, core::WeightSpec::total_time());
+  const auto hist = core::winner_histogram(cells, cfg.algorithms.size());
+  std::printf("winners under E = equal-weight total time:\n");
+  for (std::size_t a = 0; a < cfg.algorithms.size(); ++a) {
+    std::printf("  %-12s %5zu cells (%.1f%%)\n", cfg.algorithms[a].c_str(),
+                hist[a],
+                100.0 * static_cast<double>(hist[a]) /
+                    static_cast<double>(cells.size()));
+  }
+
+  const auto tables = core::make_tables(cells, cfg.algorithms, split.test);
+  std::printf("\ntrain rows %zu / validation rows %zu\n\n",
+              tables.train.n_rows(), tables.test.n_rows());
+
+  for (const auto method : {core::Method::kChaid, core::Method::kCart}) {
+    const auto fit = core::fit_and_evaluate(method, tables);
+    std::printf("== %s ==\naccuracy %.4f (%zu/%zu), %zu leaves\n",
+                core::method_name(method).c_str(), fit.eval.accuracy(),
+                fit.eval.matched, fit.eval.total, fit.model->leaf_count());
+    std::printf("%s\nrules:\n",
+                ml::format_confusion(fit.eval, tables.test.class_names())
+                    .c_str());
+    for (const auto& rule : fit.model->rules()) {
+      std::printf("  %s\n", rule.c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

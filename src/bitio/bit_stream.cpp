@@ -1,0 +1,50 @@
+#include "bitio/bit_stream.h"
+
+#include "util/check.h"
+
+namespace dnacomp::bitio {
+
+void BitWriter::write_bits(std::uint64_t value, unsigned n) {
+  DC_CHECK(n <= 64);
+  if (n == 0) return;
+  if (n < 64) value &= (1ULL << n) - 1;
+  bit_count_ += n;
+  // Feed bits MSB-first into the accumulator, flushing whole bytes.
+  for (unsigned i = n; i-- > 0;) {
+    acc_ = (acc_ << 1) | ((value >> i) & 1u);
+    if (++fill_ == 8) {
+      buf_.push_back(static_cast<std::uint8_t>(acc_));
+      acc_ = 0;
+      fill_ = 0;
+    }
+  }
+}
+
+std::vector<std::uint8_t> BitWriter::finish() {
+  if (fill_ > 0) {
+    buf_.push_back(static_cast<std::uint8_t>(acc_ << (8 - fill_)));
+    acc_ = 0;
+    fill_ = 0;
+  }
+  return std::move(buf_);
+}
+
+std::uint64_t BitReader::read_bits(unsigned n) {
+  DC_CHECK(n <= 64);
+  std::uint64_t v = 0;
+  for (unsigned i = 0; i < n; ++i) {
+    const std::uint64_t byte_idx = pos_ >> 3;
+    if (byte_idx >= data_.size()) {
+      overflow_ = true;
+      v <<= 1;
+      ++pos_;
+      continue;
+    }
+    const unsigned shift = 7u - static_cast<unsigned>(pos_ & 7u);
+    v = (v << 1) | ((data_[byte_idx] >> shift) & 1u);
+    ++pos_;
+  }
+  return v;
+}
+
+}  // namespace dnacomp::bitio

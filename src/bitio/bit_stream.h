@@ -1,0 +1,54 @@
+// MSB-first bit stream over a byte vector. Used by the Huffman, Fibonacci and
+// Elias codecs; the arithmetic codecs are byte-oriented and do not use this.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace dnacomp::bitio {
+
+class BitWriter {
+ public:
+  BitWriter() = default;
+
+  // Append the low `n` bits of `value`, most significant of those bits first.
+  // n must be in [0, 64].
+  void write_bits(std::uint64_t value, unsigned n);
+
+  void write_bit(unsigned bit) { write_bits(bit & 1u, 1); }
+
+  // Pad to a byte boundary with zero bits and return the buffer.
+  std::vector<std::uint8_t> finish();
+
+  // Bits written so far (before padding).
+  std::uint64_t bit_count() const noexcept { return bit_count_; }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  std::uint64_t acc_ = 0;  // bits pending, left-aligned within `fill_` bits
+  unsigned fill_ = 0;      // number of pending bits in acc_ (< 8 after flush)
+  std::uint64_t bit_count_ = 0;
+};
+
+class BitReader {
+ public:
+  explicit BitReader(std::span<const std::uint8_t> data) noexcept
+      : data_(data) {}
+
+  // Read `n` bits (MSB-first); n in [0, 64]. Reading past the end returns
+  // zero bits and sets overflowed().
+  std::uint64_t read_bits(unsigned n);
+
+  unsigned read_bit() { return static_cast<unsigned>(read_bits(1)); }
+
+  bool overflowed() const noexcept { return overflow_; }
+  std::uint64_t bits_consumed() const noexcept { return pos_; }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::uint64_t pos_ = 0;  // absolute bit position
+  bool overflow_ = false;
+};
+
+}  // namespace dnacomp::bitio

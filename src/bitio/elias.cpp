@@ -1,0 +1,55 @@
+#include "bitio/elias.h"
+
+#include <bit>
+
+#include "util/check.h"
+
+namespace dnacomp::bitio {
+
+void elias_gamma_encode(BitWriter& bw, std::uint64_t v) {
+  DC_CHECK(v >= 1);
+  const auto nbits = static_cast<unsigned>(std::bit_width(v));
+  for (unsigned i = 1; i < nbits; ++i) bw.write_bit(0);
+  bw.write_bits(v, nbits);  // leading 1 doubles as the unary terminator
+}
+
+std::uint64_t elias_gamma_decode(BitReader& br) {
+  unsigned zeros = 0;
+  while (br.read_bit() == 0) {
+    if (br.overflowed() || ++zeros > 63) return 0;
+  }
+  if (br.overflowed()) return 0;
+  std::uint64_t v = 1;
+  for (unsigned i = 0; i < zeros; ++i) v = (v << 1) | br.read_bit();
+  return br.overflowed() ? 0 : v;
+}
+
+void elias_delta_encode(BitWriter& bw, std::uint64_t v) {
+  DC_CHECK(v >= 1);
+  const auto nbits = static_cast<unsigned>(std::bit_width(v));
+  elias_gamma_encode(bw, nbits);
+  if (nbits > 1) bw.write_bits(v & ((1ULL << (nbits - 1)) - 1), nbits - 1);
+}
+
+std::uint64_t elias_delta_decode(BitReader& br) {
+  const std::uint64_t nbits = elias_gamma_decode(br);
+  if (nbits == 0 || nbits > 64) return 0;
+  std::uint64_t v = 1;
+  if (nbits > 1) {
+    v = (v << (nbits - 1)) | br.read_bits(static_cast<unsigned>(nbits - 1));
+  }
+  return br.overflowed() ? 0 : v;
+}
+
+unsigned elias_gamma_length(std::uint64_t v) {
+  DC_CHECK(v >= 1);
+  return 2 * static_cast<unsigned>(std::bit_width(v)) - 1;
+}
+
+unsigned elias_delta_length(std::uint64_t v) {
+  DC_CHECK(v >= 1);
+  const auto n = static_cast<unsigned>(std::bit_width(v));
+  return elias_gamma_length(n) + (n - 1);
+}
+
+}  // namespace dnacomp::bitio

@@ -1,0 +1,19 @@
+// Elias gamma and delta codes for positive integers.
+#pragma once
+
+#include <cstdint>
+
+#include "bitio/bit_stream.h"
+
+namespace dnacomp::bitio {
+
+void elias_gamma_encode(BitWriter& bw, std::uint64_t v);  // v >= 1
+std::uint64_t elias_gamma_decode(BitReader& br);
+
+void elias_delta_encode(BitWriter& bw, std::uint64_t v);  // v >= 1
+std::uint64_t elias_delta_decode(BitReader& br);
+
+unsigned elias_gamma_length(std::uint64_t v);
+unsigned elias_delta_length(std::uint64_t v);
+
+}  // namespace dnacomp::bitio

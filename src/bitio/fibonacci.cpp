@@ -1,0 +1,72 @@
+#include "bitio/fibonacci.h"
+
+#include <array>
+
+#include "util/check.h"
+
+namespace dnacomp::bitio {
+namespace {
+
+// Fibonacci numbers F(2)=1, F(3)=2, ... up to the largest fitting in 64 bits.
+constexpr std::size_t kMaxFib = 91;
+
+constexpr std::array<std::uint64_t, kMaxFib> make_fib() {
+  std::array<std::uint64_t, kMaxFib> f{};
+  f[0] = 1;  // F(2)
+  f[1] = 2;  // F(3)
+  for (std::size_t i = 2; i < kMaxFib; ++i) f[i] = f[i - 1] + f[i - 2];
+  return f;
+}
+
+constexpr auto kFib = make_fib();
+
+// Index of the largest Fibonacci number <= v.
+std::size_t highest_fib_index(std::uint64_t v) {
+  std::size_t i = 0;
+  while (i + 1 < kMaxFib && kFib[i + 1] <= v) ++i;
+  return i;
+}
+
+}  // namespace
+
+void fibonacci_encode(BitWriter& bw, std::uint64_t v) {
+  DC_CHECK_MSG(v >= 1, "Fibonacci codes are defined for v >= 1");
+  const std::size_t top = highest_fib_index(v);
+  // Zeckendorf decomposition. Codes can exceed 64 bits for large v, so the
+  // term flags live in an array rather than an integer.
+  bool flags[kMaxFib] = {};
+  std::uint64_t rest = v;
+  for (std::size_t i = top + 1; i-- > 0;) {
+    if (kFib[i] <= rest) {
+      rest -= kFib[i];
+      flags[i] = true;
+    }
+  }
+  DC_CHECK(rest == 0);
+  // Emit low-order Fibonacci terms first, then the closing 1 (making "11").
+  for (std::size_t i = 0; i <= top; ++i) bw.write_bit(flags[i] ? 1 : 0);
+  bw.write_bit(1);
+}
+
+std::uint64_t fibonacci_decode(BitReader& br) {
+  std::uint64_t v = 0;
+  unsigned prev = 0;
+  for (std::size_t i = 0; i < kMaxFib + 1; ++i) {
+    const unsigned b = br.read_bit();
+    if (br.overflowed()) return 0;
+    if (b == 1 && prev == 1) return v;  // terminator reached
+    if (b == 1) {
+      DC_CHECK(i < kMaxFib);
+      v += kFib[i];
+    }
+    prev = b;
+  }
+  return 0;  // ran past the longest legal code: malformed
+}
+
+unsigned fibonacci_code_length(std::uint64_t v) {
+  DC_CHECK(v >= 1);
+  return static_cast<unsigned>(highest_fib_index(v)) + 2;
+}
+
+}  // namespace dnacomp::bitio

@@ -1,0 +1,22 @@
+// Fibonacci coding of positive integers (Zeckendorf representation, emitted
+// low-order-first and terminated by the "11" marker). BioCompress and DNAC
+// use Fibonacci codes for repeat lengths/positions (paper Table 1); the bio2
+// baseline compressor here does the same.
+#pragma once
+
+#include <cstdint>
+
+#include "bitio/bit_stream.h"
+
+namespace dnacomp::bitio {
+
+// Encode v >= 1.
+void fibonacci_encode(BitWriter& bw, std::uint64_t v);
+
+// Decode one value; returns 0 on malformed/truncated input.
+std::uint64_t fibonacci_decode(BitReader& br);
+
+// Length, in bits, of the Fibonacci code for v (>= 1).
+unsigned fibonacci_code_length(std::uint64_t v);
+
+}  // namespace dnacomp::bitio

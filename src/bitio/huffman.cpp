@@ -1,0 +1,187 @@
+#include "bitio/huffman.h"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "util/check.h"
+
+namespace dnacomp::bitio {
+namespace {
+
+struct Node {
+  std::uint64_t freq;
+  std::uint32_t tie;  // stable tiebreak for determinism
+  int left = -1;      // indices into the node pool; -1 for leaves
+  int right = -1;
+  std::uint32_t symbol = 0;
+};
+
+void assign_depths(const std::vector<Node>& pool, int idx, unsigned depth,
+                   std::vector<std::uint8_t>& lengths) {
+  const Node& n = pool[static_cast<std::size_t>(idx)];
+  if (n.left < 0) {
+    lengths[n.symbol] = static_cast<std::uint8_t>(std::max(depth, 1u));
+    return;
+  }
+  assign_depths(pool, n.left, depth + 1, lengths);
+  assign_depths(pool, n.right, depth + 1, lengths);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> huffman_code_lengths(
+    std::span<const std::uint64_t> freqs, unsigned max_len) {
+  DC_CHECK(max_len >= 1 && max_len <= 31);
+  const std::size_t n = freqs.size();
+  std::vector<std::uint8_t> lengths(n, 0);
+
+  std::vector<Node> pool;
+  pool.reserve(2 * n);
+  using QItem = std::pair<std::pair<std::uint64_t, std::uint32_t>, int>;
+  std::priority_queue<QItem, std::vector<QItem>, std::greater<>> pq;
+  std::uint32_t tie = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (freqs[i] == 0) continue;
+    pool.push_back({freqs[i], tie, -1, -1, static_cast<std::uint32_t>(i)});
+    pq.push({{freqs[i], tie}, static_cast<int>(pool.size() - 1)});
+    ++tie;
+  }
+  if (pool.empty()) return lengths;
+  if (pool.size() == 1) {
+    lengths[pool[0].symbol] = 1;
+    return lengths;
+  }
+
+  while (pq.size() > 1) {
+    const auto a = pq.top();
+    pq.pop();
+    const auto b = pq.top();
+    pq.pop();
+    pool.push_back({a.first.first + b.first.first, tie, a.second, b.second, 0});
+    pq.push({{a.first.first + b.first.first, tie},
+             static_cast<int>(pool.size() - 1)});
+    ++tie;
+  }
+  assign_depths(pool, pq.top().second, 0, lengths);
+
+  // Enforce the length limit with the standard overflow-redistribution pass:
+  // count codes per length, push overflow codes up into shorter lengths by
+  // borrowing Kraft budget.
+  std::vector<std::uint32_t> bl_count(max_len + 1, 0);
+  bool overflow = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (lengths[i] == 0) continue;
+    if (lengths[i] > max_len) {
+      overflow = true;
+      lengths[i] = static_cast<std::uint8_t>(max_len);
+    }
+  }
+  if (overflow) {
+    for (std::size_t i = 0; i < n; ++i)
+      if (lengths[i]) ++bl_count[lengths[i]];
+    // Kraft sum in units of 2^-max_len.
+    std::uint64_t kraft = 0;
+    for (unsigned l = 1; l <= max_len; ++l)
+      kraft += static_cast<std::uint64_t>(bl_count[l]) << (max_len - l);
+    const std::uint64_t budget = std::uint64_t{1} << max_len;
+    // While over budget, demote one code from the longest non-max length.
+    while (kraft > budget) {
+      unsigned l = max_len - 1;
+      while (l >= 1 && bl_count[l] == 0) --l;
+      DC_CHECK_MSG(l >= 1, "cannot satisfy Huffman length limit");
+      --bl_count[l];
+      ++bl_count[l + 1];
+      kraft -= std::uint64_t{1} << (max_len - l - 1);
+    }
+    // Reassign lengths canonically: sort symbols by frequency descending and
+    // hand out the shortest lengths first.
+    std::vector<std::uint32_t> syms;
+    for (std::size_t i = 0; i < n; ++i)
+      if (lengths[i]) syms.push_back(static_cast<std::uint32_t>(i));
+    std::sort(syms.begin(), syms.end(), [&](std::uint32_t a, std::uint32_t b) {
+      if (freqs[a] != freqs[b]) return freqs[a] > freqs[b];
+      return a < b;
+    });
+    std::size_t si = 0;
+    for (unsigned l = 1; l <= max_len; ++l) {
+      for (std::uint32_t k = 0; k < bl_count[l]; ++k) {
+        lengths[syms[si++]] = static_cast<std::uint8_t>(l);
+      }
+    }
+    DC_CHECK(si == syms.size());
+  }
+  return lengths;
+}
+
+std::vector<std::uint32_t> canonical_codes(
+    std::span<const std::uint8_t> lengths) {
+  unsigned max_len = 0;
+  for (auto l : lengths) max_len = std::max<unsigned>(max_len, l);
+  std::vector<std::uint32_t> bl_count(max_len + 1, 0);
+  for (auto l : lengths)
+    if (l) ++bl_count[l];
+  std::vector<std::uint32_t> next_code(max_len + 2, 0);
+  std::uint32_t code = 0;
+  for (unsigned l = 1; l <= max_len; ++l) {
+    code = (code + bl_count[l - 1]) << 1;
+    next_code[l] = code;
+  }
+  std::vector<std::uint32_t> codes(lengths.size(), 0);
+  for (std::size_t i = 0; i < lengths.size(); ++i) {
+    if (lengths[i]) codes[i] = next_code[lengths[i]]++;
+  }
+  return codes;
+}
+
+HuffmanEncoder::HuffmanEncoder(std::span<const std::uint8_t> lengths)
+    : lengths_(lengths.begin(), lengths.end()),
+      codes_(canonical_codes(lengths)) {}
+
+void HuffmanEncoder::encode(BitWriter& bw, std::uint32_t symbol) const {
+  DC_CHECK(symbol < lengths_.size());
+  DC_CHECK_MSG(lengths_[symbol] > 0, "encoding a symbol with no code");
+  bw.write_bits(codes_[symbol], lengths_[symbol]);
+}
+
+HuffmanDecoder::HuffmanDecoder(std::span<const std::uint8_t> lengths)
+    : n_symbols_(lengths.size()) {
+  max_len_ = 0;
+  for (auto l : lengths) max_len_ = std::max<unsigned>(max_len_, l);
+  count_.assign(max_len_ + 1, 0);
+  for (auto l : lengths)
+    if (l) ++count_[l];
+  first_code_.assign(max_len_ + 2, 0);
+  first_index_.assign(max_len_ + 2, 0);
+  // Canonical recurrence: first_code[l] = (first_code[l-1]+count[l-1]) << 1.
+  std::uint32_t code = 0, index = 0;
+  for (unsigned l = 1; l <= max_len_; ++l) {
+    code = (code + (l >= 2 ? count_[l - 1] : 0u)) << 1;
+    first_code_[l] = code;
+    first_index_[l] = index;
+    index += count_[l];
+  }
+  symbols_.resize(index);
+  std::vector<std::uint32_t> fill(max_len_ + 1, 0);
+  for (std::size_t i = 0; i < lengths.size(); ++i) {
+    const unsigned l = lengths[i];
+    if (!l) continue;
+    symbols_[first_index_[l] + fill[l]] = static_cast<std::uint32_t>(i);
+    ++fill[l];
+  }
+}
+
+std::uint32_t HuffmanDecoder::decode(BitReader& br) const {
+  std::uint32_t code = 0;
+  for (unsigned l = 1; l <= max_len_; ++l) {
+    code = (code << 1) | br.read_bit();
+    if (br.overflowed()) break;
+    if (count_[l] != 0 && code >= first_code_[l] &&
+        code < first_code_[l] + count_[l]) {
+      return symbols_[first_index_[l] + (code - first_code_[l])];
+    }
+  }
+  return static_cast<std::uint32_t>(n_symbols_);  // malformed
+}
+
+}  // namespace dnacomp::bitio

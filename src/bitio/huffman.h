@@ -1,0 +1,59 @@
+// Canonical Huffman coding with a configurable maximum code length.
+// This is the entropy stage of the GzipX (DEFLATE-shaped) compressor.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bitio/bit_stream.h"
+
+namespace dnacomp::bitio {
+
+// Compute length-limited canonical Huffman code lengths for the given symbol
+// frequencies. Symbols with zero frequency get length 0 (no code). If only
+// one symbol has nonzero frequency it is assigned length 1.
+// Throws if the alphabet cannot fit in max_len bits.
+std::vector<std::uint8_t> huffman_code_lengths(
+    std::span<const std::uint64_t> freqs, unsigned max_len = 15);
+
+// Canonical codes (bit patterns) from code lengths. codes[i] is valid only
+// when lengths[i] > 0; codes are MSB-first.
+std::vector<std::uint32_t> canonical_codes(
+    std::span<const std::uint8_t> lengths);
+
+class HuffmanEncoder {
+ public:
+  explicit HuffmanEncoder(std::span<const std::uint8_t> lengths);
+
+  void encode(BitWriter& bw, std::uint32_t symbol) const;
+  unsigned length(std::uint32_t symbol) const {
+    return lengths_[symbol];
+  }
+
+ private:
+  std::vector<std::uint8_t> lengths_;
+  std::vector<std::uint32_t> codes_;
+};
+
+class HuffmanDecoder {
+ public:
+  explicit HuffmanDecoder(std::span<const std::uint8_t> lengths);
+
+  // Returns the decoded symbol, or symbol_count() on malformed input.
+  std::uint32_t decode(BitReader& br) const;
+
+  std::size_t symbol_count() const noexcept { return n_symbols_; }
+
+ private:
+  // Canonical decode tables per length: first code value and index into
+  // symbols_ for each code length.
+  std::size_t n_symbols_;
+  unsigned max_len_;
+  std::vector<std::uint32_t> first_code_;   // per length
+  std::vector<std::uint32_t> first_index_;  // per length
+  std::vector<std::uint32_t> count_;        // codes per length
+  std::vector<std::uint32_t> symbols_;      // symbols sorted by (len, symbol)
+};
+
+}  // namespace dnacomp::bitio

@@ -1,0 +1,99 @@
+#include "bitio/models.h"
+
+#include <bit>
+#include <stdexcept>
+
+#include "util/check.h"
+
+namespace dnacomp::bitio {
+
+void BitTreeModel::encode(RangeEncoder& enc, std::uint32_t symbol) {
+  DC_CHECK(symbol < (1u << num_bits_));
+  std::uint32_t node = 1;
+  for (unsigned i = num_bits_; i-- > 0;) {
+    const unsigned bit = (symbol >> i) & 1u;
+    models_[node].encode(enc, bit);
+    node = (node << 1) | bit;
+  }
+}
+
+std::uint32_t BitTreeModel::decode(RangeDecoder& dec) {
+  std::uint32_t node = 1;
+  for (unsigned i = 0; i < num_bits_; ++i) {
+    node = (node << 1) | models_[node].decode(dec);
+  }
+  return node - (1u << num_bits_);
+}
+
+OrderKBaseModel::OrderKBaseModel(unsigned order) : order_(order) {
+  DC_CHECK_MSG(order <= 12, "order-k context table would exceed 4^12");
+  const std::size_t contexts = std::size_t{1} << (2 * order_);
+  mask_ = contexts - 1;
+  models_.resize(contexts * 3);
+}
+
+void OrderKBaseModel::encode(RangeEncoder& enc, unsigned base) {
+  DC_CHECK(base < 4);
+  AdaptiveBitModel* t = &models_[ctx_index() * 3];
+  const unsigned hi = (base >> 1) & 1u;
+  const unsigned lo = base & 1u;
+  t[0].encode(enc, hi);
+  t[1 + hi].encode(enc, lo);
+  push(base);
+}
+
+unsigned OrderKBaseModel::decode(RangeDecoder& dec) {
+  AdaptiveBitModel* t = &models_[ctx_index() * 3];
+  const unsigned hi = t[0].decode(dec);
+  const unsigned lo = t[1 + hi].decode(dec);
+  const unsigned base = (hi << 1) | lo;
+  push(base);
+  return base;
+}
+
+std::size_t OrderKBaseModel::memory_bytes() const noexcept {
+  return models_.capacity() * sizeof(AdaptiveBitModel);
+}
+
+UIntModel::UIntModel(unsigned max_bits)
+    : max_bits_(max_bits),
+      exp_bits_(static_cast<unsigned>(std::bit_width(max_bits))),
+      exp_model_(exp_bits_),
+      mantissa_(max_bits) {
+  DC_CHECK(max_bits >= 1 && max_bits <= 63);
+}
+
+void UIntModel::encode(RangeEncoder& enc, std::uint64_t value) {
+  DC_CHECK(value < (std::uint64_t{1} << max_bits_));
+  const unsigned nbits =
+      value == 0 ? 0 : static_cast<unsigned>(std::bit_width(value));
+  exp_model_.encode(enc, nbits);
+  if (nbits >= 2) {
+    // Leading bit is implicit (it is 1); model the next bit adaptively per
+    // length class, send the remainder as direct bits.
+    const unsigned rest = nbits - 1;
+    mantissa_[nbits - 1].encode(enc,
+                                static_cast<unsigned>((value >> (rest - 1)) & 1u));
+    if (rest >= 2) enc.encode_direct(value & ((1ULL << (rest - 1)) - 1), rest - 1);
+  }
+}
+
+std::uint64_t UIntModel::decode(RangeDecoder& dec) {
+  const auto nbits = static_cast<unsigned>(exp_model_.decode(dec));
+  if (nbits > max_bits_) {
+    // Only reachable on a corrupt stream: the encoder never emits an
+    // exponent beyond max_bits_.
+    throw std::runtime_error("UIntModel: corrupt exponent in stream");
+  }
+  if (nbits == 0) return 0;
+  if (nbits == 1) return 1;
+  std::uint64_t value = 1;  // implicit leading bit
+  const unsigned rest = nbits - 1;
+  value = (value << 1) | mantissa_[nbits - 1].decode(dec);
+  if (rest >= 2) {
+    value = (value << (rest - 1)) | dec.decode_direct(rest - 1);
+  }
+  return value;
+}
+
+}  // namespace dnacomp::bitio

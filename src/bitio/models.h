@@ -1,0 +1,141 @@
+// Adaptive probability models for the range coder.
+//
+//  * AdaptiveBitModel — classic shift-update 12-bit binary model.
+//  * BitTreeModel    — n-bit symbols via binary decomposition, one bit model
+//                      per prefix (the LZMA "bit tree").
+//  * OrderKBaseModel — order-k model over the 4-letter DNA alphabet; each
+//                      k-base context owns a 2-level bit tree. This is the
+//                      "order-2 arithmetic coding" fallback that
+//                      BioCompress-2 / GenCompress / DNAPack use for
+//                      non-repeat regions.
+//  * KTBitModel      — Krichevsky–Trofimov counts used by CTW nodes.
+//  * UIntModel       — adaptive variable-length unsigned integer codec
+//                      (exponent via bit tree + mantissa via direct bits);
+//                      used for match lengths/offsets.
+#pragma once
+
+#include <cstdint>
+#include <memory_resource>
+#include <vector>
+
+#include "bitio/range_coder.h"
+
+namespace dnacomp::bitio {
+
+class AdaptiveBitModel {
+ public:
+  AdaptiveBitModel() noexcept : p0_(kProbOne / 2) {}
+
+  void encode(RangeEncoder& enc, unsigned bit) {
+    enc.encode_bit(p0_, bit);
+    update(bit);
+  }
+  unsigned decode(RangeDecoder& dec) {
+    const unsigned bit = dec.decode_bit(p0_);
+    update(bit);
+    return bit;
+  }
+
+  std::uint32_t p0() const noexcept { return p0_; }
+
+ private:
+  void update(unsigned bit) noexcept {
+    // Exponential decay toward the observed bit; shift 5 is the usual
+    // LZMA-style adaptation rate.
+    if (bit == 0) {
+      p0_ += (kProbOne - p0_) >> 5;
+    } else {
+      p0_ -= p0_ >> 5;
+    }
+    if (p0_ < 1) p0_ = 1;
+    if (p0_ > kProbOne - 1) p0_ = kProbOne - 1;
+  }
+
+  std::uint32_t p0_;
+};
+
+class BitTreeModel {
+ public:
+  explicit BitTreeModel(unsigned num_bits)
+      : num_bits_(num_bits), models_(std::size_t{1} << num_bits) {}
+
+  void encode(RangeEncoder& enc, std::uint32_t symbol);
+  std::uint32_t decode(RangeDecoder& dec);
+
+  unsigned num_bits() const noexcept { return num_bits_; }
+
+ private:
+  unsigned num_bits_;
+  std::vector<AdaptiveBitModel> models_;  // indexed by 1-prefixed path
+};
+
+class OrderKBaseModel {
+ public:
+  // order = number of previous bases forming the context (0..12).
+  explicit OrderKBaseModel(unsigned order);
+
+  void encode(RangeEncoder& enc, unsigned base);   // base in [0,4)
+  unsigned decode(RangeDecoder& dec);
+
+  unsigned order() const noexcept { return order_; }
+  std::size_t memory_bytes() const noexcept;
+
+ private:
+  std::size_t ctx_index() const noexcept { return history_ & mask_; }
+  void push(unsigned base) noexcept {
+    history_ = ((history_ << 2) | base) & mask_;
+  }
+
+  unsigned order_;
+  std::size_t mask_;
+  std::size_t history_ = 0;
+  // Per context: three bit models laid out as a depth-2 tree
+  // [root, left-child, right-child].
+  std::vector<AdaptiveBitModel> models_;
+};
+
+class KTBitModel {
+ public:
+  // P(next == 0) with the KT (add-1/2) estimator.
+  double p0() const noexcept {
+    return (static_cast<double>(zeros_) + 0.5) /
+           (static_cast<double>(zeros_ + ones_) + 1.0);
+  }
+  void update(unsigned bit) noexcept {
+    if (bit == 0) {
+      ++zeros_;
+    } else {
+      ++ones_;
+    }
+    // Halve counts periodically so the model stays adaptive and the doubles
+    // used downstream stay well-conditioned.
+    if (zeros_ + ones_ >= kRescaleAt) {
+      zeros_ = (zeros_ + 1) / 2;
+      ones_ = (ones_ + 1) / 2;
+    }
+  }
+  std::uint32_t zeros() const noexcept { return zeros_; }
+  std::uint32_t ones() const noexcept { return ones_; }
+
+ private:
+  static constexpr std::uint32_t kRescaleAt = 1u << 16;
+  std::uint32_t zeros_ = 0;
+  std::uint32_t ones_ = 0;
+};
+
+class UIntModel {
+ public:
+  // max_bits: largest value is 2^max_bits - 1.
+  explicit UIntModel(unsigned max_bits = 32);
+
+  void encode(RangeEncoder& enc, std::uint64_t value);
+  std::uint64_t decode(RangeDecoder& dec);
+
+ private:
+  unsigned max_bits_;
+  unsigned exp_bits_;        // bits needed to express the exponent
+  BitTreeModel exp_model_;   // codes the bit-length of the value
+  std::vector<AdaptiveBitModel> mantissa_;  // top mantissa bits, per position
+};
+
+}  // namespace dnacomp::bitio

@@ -1,0 +1,139 @@
+#include "bitio/range_coder.h"
+
+#include "util/check.h"
+
+namespace dnacomp::bitio {
+
+std::uint32_t probability_to_bound(double p0, std::uint32_t range) noexcept {
+  if (p0 < 1e-9) p0 = 1e-9;
+  if (p0 > 1.0 - 1e-9) p0 = 1.0 - 1e-9;
+  auto bound = static_cast<std::uint32_t>(static_cast<double>(range) * p0);
+  if (bound == 0) bound = 1;
+  if (bound >= range) bound = range - 1;
+  return bound;
+}
+
+// ---------------------------------------------------------------- encoder
+
+void RangeEncoder::shift_low() {
+  if (static_cast<std::uint32_t>(low_) < 0xFF000000u || (low_ >> 32) != 0) {
+    const auto carry = static_cast<std::uint8_t>(low_ >> 32);
+    do {
+      out_.push_back(static_cast<std::uint8_t>(cache_ + carry));
+      cache_ = 0xFF;
+    } while (--cache_size_ != 0);
+    cache_ = static_cast<std::uint8_t>(low_ >> 24);
+  }
+  ++cache_size_;
+  low_ = (low_ & 0x00FFFFFFu) << 8;
+}
+
+void RangeEncoder::split(std::uint32_t bound, unsigned bit) {
+  if ((bit & 1u) == 0) {
+    range_ = bound;
+  } else {
+    low_ += bound;
+    range_ -= bound;
+  }
+  while (range_ < kTopValue) {
+    range_ <<= 8;
+    shift_low();
+  }
+}
+
+void RangeEncoder::encode_bit(std::uint32_t p0, unsigned bit) {
+  DC_CHECK(!finished_);
+  DC_CHECK(p0 >= 1 && p0 < kProbOne);
+  split((range_ >> kProbBits) * p0, bit);
+}
+
+void RangeEncoder::encode_bit_p(double p0, unsigned bit) {
+  DC_CHECK(!finished_);
+  split(probability_to_bound(p0, range_), bit);
+}
+
+void RangeEncoder::encode_direct(std::uint64_t value, unsigned n) {
+  DC_CHECK(!finished_);
+  DC_CHECK(n <= 64);
+  for (unsigned i = n; i-- > 0;) {
+    range_ >>= 1;
+    if ((value >> i) & 1u) low_ += range_;
+    while (range_ < kTopValue) {
+      range_ <<= 8;
+      shift_low();
+    }
+  }
+}
+
+std::vector<std::uint8_t> RangeEncoder::finish() {
+  DC_CHECK(!finished_);
+  finished_ = true;
+  for (int i = 0; i < 5; ++i) shift_low();
+  return std::move(out_);
+}
+
+// ---------------------------------------------------------------- decoder
+
+RangeDecoder::RangeDecoder(std::span<const std::uint8_t> data) : data_(data) {
+  next_byte();  // skip the encoder's initial cache byte
+  for (int i = 0; i < 4; ++i) code_ = (code_ << 8) | next_byte();
+}
+
+std::uint8_t RangeDecoder::next_byte() {
+  if (pos_ >= data_.size()) {
+    overflow_ = true;
+    return 0;
+  }
+  return data_[pos_++];
+}
+
+void RangeDecoder::normalize() {
+  while (range_ < kTopValue) {
+    code_ = (code_ << 8) | next_byte();
+    range_ <<= 8;
+  }
+}
+
+unsigned RangeDecoder::split(std::uint32_t bound) {
+  unsigned bit;
+  if (code_ < bound) {
+    range_ = bound;
+    bit = 0;
+  } else {
+    code_ -= bound;
+    range_ -= bound;
+    bit = 1;
+  }
+  normalize();
+  return bit;
+}
+
+unsigned RangeDecoder::decode_bit(std::uint32_t p0) {
+  DC_CHECK(p0 >= 1 && p0 < kProbOne);
+  return split((range_ >> kProbBits) * p0);
+}
+
+unsigned RangeDecoder::decode_bit_p(double p0) {
+  return split(probability_to_bound(p0, range_));
+}
+
+std::uint64_t RangeDecoder::decode_direct(unsigned n) {
+  DC_CHECK(n <= 64);
+  std::uint64_t v = 0;
+  for (unsigned i = 0; i < n; ++i) {
+    range_ >>= 1;
+    unsigned bit = 0;
+    if (code_ >= range_) {
+      code_ -= range_;
+      bit = 1;
+    }
+    v = (v << 1) | bit;
+    while (range_ < kTopValue) {
+      range_ <<= 8;
+      code_ = (code_ << 8) | next_byte();
+    }
+  }
+  return v;
+}
+
+}  // namespace dnacomp::bitio

@@ -1,0 +1,79 @@
+// Binary range coder (LZMA-style, 32-bit range, carry via cache byte).
+//
+// Two probability interfaces are provided:
+//  * fixed-point 12-bit probabilities (used with AdaptiveBitModel — fast path
+//    for the LZ-style codecs), and
+//  * double probabilities (used by CTW, whose weighted mixture produces an
+//    arbitrary real-valued P(bit)). Encoder and decoder compute the split
+//    bound through the identical expression, so the double path is portable
+//    across runs of the same binary.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace dnacomp::bitio {
+
+inline constexpr unsigned kProbBits = 12;
+inline constexpr std::uint32_t kProbOne = 1u << kProbBits;  // 4096
+inline constexpr std::uint32_t kTopValue = 1u << 24;
+
+class RangeEncoder {
+ public:
+  RangeEncoder() = default;
+
+  // p0 = P(bit == 0) in (0, kProbOne), i.e. 1..4095.
+  void encode_bit(std::uint32_t p0, unsigned bit);
+
+  // p0 = P(bit == 0) as a double in (0, 1); clamped internally.
+  void encode_bit_p(double p0, unsigned bit);
+
+  // Encode n raw bits (uniform probability), MSB-first.
+  void encode_direct(std::uint64_t value, unsigned n);
+
+  // Flush and return the byte stream.
+  std::vector<std::uint8_t> finish();
+
+  std::size_t bytes_written() const noexcept { return out_.size(); }
+
+ private:
+  void split(std::uint32_t bound, unsigned bit);
+  void shift_low();
+
+  std::vector<std::uint8_t> out_;
+  std::uint64_t low_ = 0;
+  std::uint32_t range_ = 0xFFFFFFFFu;
+  std::uint8_t cache_ = 0;
+  std::uint64_t cache_size_ = 1;
+  bool finished_ = false;
+};
+
+class RangeDecoder {
+ public:
+  explicit RangeDecoder(std::span<const std::uint8_t> data);
+
+  unsigned decode_bit(std::uint32_t p0);
+  unsigned decode_bit_p(double p0);
+  std::uint64_t decode_direct(unsigned n);
+
+  // True if the decoder has consumed bytes past the end of the input, which
+  // indicates a corrupt/truncated stream.
+  bool overflowed() const noexcept { return overflow_; }
+
+ private:
+  unsigned split(std::uint32_t bound);
+  std::uint8_t next_byte();
+  void normalize();
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  std::uint32_t range_ = 0xFFFFFFFFu;
+  std::uint32_t code_ = 0;
+  bool overflow_ = false;
+};
+
+// Clamp a double probability-of-zero into a usable bound given `range`.
+std::uint32_t probability_to_bound(double p0, std::uint32_t range) noexcept;
+
+}  // namespace dnacomp::bitio

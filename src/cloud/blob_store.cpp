@@ -1,0 +1,123 @@
+#include "cloud/blob_store.h"
+
+#include <stdexcept>
+
+namespace dnacomp::cloud {
+
+bool BlobStore::create_container(const std::string& name) {
+  std::lock_guard lk(mu_);
+  return containers_.try_emplace(name).second;
+}
+
+bool BlobStore::delete_container(const std::string& name) {
+  std::lock_guard lk(mu_);
+  return containers_.erase(name) > 0;
+}
+
+std::vector<std::string> BlobStore::list_containers() const {
+  std::lock_guard lk(mu_);
+  std::vector<std::string> names;
+  names.reserve(containers_.size());
+  for (const auto& [name, c] : containers_) names.push_back(name);
+  return names;
+}
+
+void BlobStore::put_blob(const std::string& container, const std::string& blob,
+                         std::span<const std::uint8_t> data) {
+  std::lock_guard lk(mu_);
+  auto it = containers_.find(container);
+  if (it == containers_.end()) {
+    throw std::runtime_error("blob store: no such container: " + container);
+  }
+  Blob b;
+  b.data.assign(data.begin(), data.end());
+  b.block_count = blocks_for(data.size());
+  it->second.blobs[blob] = std::move(b);
+}
+
+void BlobStore::stage_block(const std::string& container,
+                            const std::string& blob,
+                            const std::string& block_id,
+                            std::span<const std::uint8_t> data) {
+  std::lock_guard lk(mu_);
+  auto it = containers_.find(container);
+  if (it == containers_.end()) {
+    throw std::runtime_error("blob store: no such container: " + container);
+  }
+  it->second.staged[blob][block_id].assign(data.begin(), data.end());
+}
+
+void BlobStore::commit_block_list(const std::string& container,
+                                  const std::string& blob,
+                                  const std::vector<std::string>& block_ids) {
+  std::lock_guard lk(mu_);
+  auto it = containers_.find(container);
+  if (it == containers_.end()) {
+    throw std::runtime_error("blob store: no such container: " + container);
+  }
+  auto staged_it = it->second.staged.find(blob);
+  if (staged_it == it->second.staged.end()) {
+    throw std::runtime_error("blob store: no staged blocks for " + blob);
+  }
+  Blob b;
+  for (const auto& id : block_ids) {
+    auto blk = staged_it->second.find(id);
+    if (blk == staged_it->second.end()) {
+      throw std::runtime_error("blob store: unknown block id: " + id);
+    }
+    b.data.insert(b.data.end(), blk->second.begin(), blk->second.end());
+  }
+  b.block_count = block_ids.size();
+  it->second.blobs[blob] = std::move(b);
+  it->second.staged.erase(staged_it);
+}
+
+std::optional<std::vector<std::uint8_t>> BlobStore::get_blob(
+    const std::string& container, const std::string& blob) const {
+  std::lock_guard lk(mu_);
+  auto it = containers_.find(container);
+  if (it == containers_.end()) return std::nullopt;
+  auto bit = it->second.blobs.find(blob);
+  if (bit == it->second.blobs.end()) return std::nullopt;
+  return bit->second.data;
+}
+
+std::optional<BlobProperties> BlobStore::get_properties(
+    const std::string& container, const std::string& blob) const {
+  std::lock_guard lk(mu_);
+  auto it = containers_.find(container);
+  if (it == containers_.end()) return std::nullopt;
+  auto bit = it->second.blobs.find(blob);
+  if (bit == it->second.blobs.end()) return std::nullopt;
+  return BlobProperties{bit->second.data.size(), bit->second.block_count};
+}
+
+bool BlobStore::delete_blob(const std::string& container,
+                            const std::string& blob) {
+  std::lock_guard lk(mu_);
+  auto it = containers_.find(container);
+  if (it == containers_.end()) return false;
+  return it->second.blobs.erase(blob) > 0;
+}
+
+std::vector<std::string> BlobStore::list_blobs(
+    const std::string& container) const {
+  std::lock_guard lk(mu_);
+  std::vector<std::string> names;
+  auto it = containers_.find(container);
+  if (it == containers_.end()) return names;
+  names.reserve(it->second.blobs.size());
+  for (const auto& [name, b] : it->second.blobs) names.push_back(name);
+  return names;
+}
+
+std::size_t BlobStore::total_bytes() const {
+  std::lock_guard lk(mu_);
+  std::size_t total = 0;
+  for (const auto& [cname, c] : containers_) {
+    for (const auto& [bname, b] : c.blobs) total += b.data.size();
+  }
+  return total;
+}
+
+}  // namespace dnacomp::cloud

@@ -1,0 +1,79 @@
+// In-memory simulation of an Azure-style BLOB storage account (§IV-A: "a
+// storage account (SAAS) was used to store the uploaded files in the form of
+// Blobs ... A container is created and these files are uploaded as BLOBs").
+//
+// Functional, thread-safe semantics: containers hold block blobs; a blob is
+// uploaded by staging blocks and committing a block list, mirroring Azure's
+// Put Block / Put Block List API shape. Timing is *not* modelled here — the
+// TransferModel computes simulated durations; this class stores real bytes
+// so examples can do a full round trip through the "cloud".
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace dnacomp::cloud {
+
+struct BlobProperties {
+  std::size_t size_bytes = 0;
+  std::size_t block_count = 0;
+};
+
+class BlobStore {
+ public:
+  static constexpr std::size_t kBlockSize = 256 * 1024;  // Azure block size
+
+  // Containers. Creating an existing container is a no-op returning false.
+  bool create_container(const std::string& name);
+  bool delete_container(const std::string& name);  // false if missing
+  std::vector<std::string> list_containers() const;
+
+  // Single-shot upload: stages ceil(size / kBlockSize) blocks and commits.
+  // Throws std::runtime_error if the container does not exist.
+  void put_blob(const std::string& container, const std::string& blob,
+                std::span<const std::uint8_t> data);
+
+  // Staged upload (Put Block / Put Block List).
+  void stage_block(const std::string& container, const std::string& blob,
+                   const std::string& block_id,
+                   std::span<const std::uint8_t> data);
+  void commit_block_list(const std::string& container, const std::string& blob,
+                         const std::vector<std::string>& block_ids);
+
+  std::optional<std::vector<std::uint8_t>> get_blob(
+      const std::string& container, const std::string& blob) const;
+  std::optional<BlobProperties> get_properties(const std::string& container,
+                                               const std::string& blob) const;
+  bool delete_blob(const std::string& container, const std::string& blob);
+  std::vector<std::string> list_blobs(const std::string& container) const;
+
+  // Total committed bytes across the account.
+  std::size_t total_bytes() const;
+
+  // Number of blocks a payload of `size` needs.
+  static std::size_t blocks_for(std::size_t size) {
+    return size == 0 ? 1 : (size + kBlockSize - 1) / kBlockSize;
+  }
+
+ private:
+  struct Blob {
+    std::vector<std::uint8_t> data;
+    std::size_t block_count = 0;
+  };
+  struct Container {
+    std::map<std::string, Blob> blobs;
+    // Staged but uncommitted blocks, per blob name.
+    std::map<std::string, std::map<std::string, std::vector<std::uint8_t>>>
+        staged;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Container> containers_;
+};
+
+}  // namespace dnacomp::cloud

@@ -1,0 +1,77 @@
+#include "cloud/transfer_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cloud/blob_store.h"
+#include "util/check.h"
+
+namespace dnacomp::cloud {
+namespace {
+
+constexpr double kBitsPerMegabit = 1e6;
+constexpr double kBytesPerMB = 1024.0 * 1024.0;
+
+}  // namespace
+
+double TransferModel::ram_penalty(std::size_t working_set_bytes,
+                                  const VmSpec& vm) const {
+  const double budget =
+      vm.ram_gb * 1024.0 * kBytesPerMB * p_.compute_ram_fraction;
+  DC_CHECK(budget > 0.0);
+  const double ratio = static_cast<double>(working_set_bytes) / budget;
+  if (ratio <= 1.0) return 1.0;
+  // Linear ramp into the cap: 2x over budget => roughly doubled runtime.
+  return std::min(p_.max_compute_slowdown, 1.0 + (ratio - 1.0));
+}
+
+double TransferModel::ram_speed_factor(const VmSpec& vm) const {
+  DC_CHECK(vm.ram_gb > 0.0);
+  return 1.0 + p_.ram_pressure_coeff / vm.ram_gb;
+}
+
+double TransferModel::scale_compute_ms(double measured_ms,
+                                       std::size_t working_set_bytes,
+                                       const VmSpec& vm) const {
+  DC_CHECK(vm.cpu_ghz > 0.0);
+  const double cpu_factor = p_.reference_cpu_ghz / vm.cpu_ghz;
+  return measured_ms * cpu_factor * ram_penalty(working_set_bytes, vm) *
+         ram_speed_factor(vm);
+}
+
+double TransferModel::upload_time_ms(std::size_t bytes,
+                                     const VmSpec& client) const {
+  DC_CHECK(client.cpu_ghz > 0.0 && client.bandwidth_mbps > 0.0);
+  const auto fbytes = static_cast<double>(bytes);
+
+  // Stage 1: serialize the file into a continuous BLOB stream (CPU + RAM
+  // bound). This is why upload is not a pure bandwidth story.
+  double ser_rate = p_.serialize_mbps_at_ref *
+                    (client.cpu_ghz / p_.reference_cpu_ghz) /
+                    ram_speed_factor(client);
+  const double buffer =
+      client.ram_gb * 1024.0 * kBytesPerMB * p_.buffer_ram_fraction;
+  if (fbytes > buffer) {
+    const double over = fbytes / buffer;
+    ser_rate /= std::min(p_.max_ram_slowdown, 1.0 + 0.5 * (over - 1.0));
+  }
+  const double serialize_ms = fbytes / (ser_rate * kBytesPerMB) * 1000.0;
+
+  // Stage 2: ship blocks over the uplink.
+  const double wire_ms =
+      fbytes * 8.0 / (client.bandwidth_mbps * kBitsPerMegabit) * 1000.0;
+  const auto blocks = static_cast<double>(BlobStore::blocks_for(bytes));
+  const double request_ms = blocks * p_.block_latency_ms;
+
+  return serialize_ms + wire_ms + request_ms;
+}
+
+double TransferModel::download_time_ms(std::size_t bytes) const {
+  const auto fbytes = static_cast<double>(bytes);
+  const double wire_ms =
+      fbytes * 8.0 / (p_.cloud_bandwidth_mbps * kBitsPerMegabit) * 1000.0;
+  const auto blocks = static_cast<double>(BlobStore::blocks_for(bytes));
+  return wire_ms + blocks * p_.cloud_block_latency_ms;
+}
+
+}  // namespace dnacomp::cloud

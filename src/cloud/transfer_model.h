@@ -1,0 +1,84 @@
+// Deterministic cost model for BLOB transfers and for rescaling measured
+// compression times into a target context.
+//
+// The model encodes the paper's empirical findings:
+//  * "uploading data at cloud was not only dependent on bandwidth but the
+//    processor speed and RAM also mattered" (§IV-A) — upload includes a CPU
+//    serialization stage ("it first requires the file to be converted into a
+//    continuous stream and then uploaded as BLOB", §VI) whose rate scales
+//    with CPU clock and degrades when the payload is large relative to RAM;
+//  * download + decompression happen at a fixed cloud VM, so per-algorithm
+//    download differences are small (Fig. 6 reports ~27-45 ms spreads);
+//  * compression/decompression times measured once on the host are rescaled
+//    by CPU ratio and a memory-pressure penalty, which is what varying the
+//    VMware VM's specs did physically.
+#pragma once
+
+#include <cstdint>
+
+#include "cloud/vm.h"
+
+namespace dnacomp::cloud {
+
+struct TransferModelParams {
+  // CPU serialization rate at the reference clock, MB/s.
+  double serialize_mbps_at_ref = 55.0;
+  double reference_cpu_ghz = 2.4;
+
+  // Fraction of VM RAM usable as transfer buffer before the serializer
+  // starts thrashing, and the maximum slowdown once it does.
+  double buffer_ram_fraction = 0.20;
+  double max_ram_slowdown = 3.0;
+
+  // Per-block request overhead (Azure Put Block round trip), milliseconds.
+  double block_latency_ms = 12.0;
+  std::size_t block_bytes = 256 * 1024;
+
+  // Cloud-side download link and latency (fixed context).
+  double cloud_bandwidth_mbps = 20.0;
+  double cloud_block_latency_ms = 8.0;
+
+  // Memory-pressure penalty for compute jobs: when a job's working set
+  // exceeds `compute_ram_fraction` of VM RAM, time is multiplied by up to
+  // `max_compute_slowdown` (swapping in the simulated VM).
+  double compute_ram_fraction = 0.5;
+  double max_compute_slowdown = 4.0;
+
+  // Baseline RAM speed effect (page-cache pressure on small-RAM VMs): both
+  // streaming uploads and compute jobs speed up with RAM even when the
+  // payload itself fits — the paper's observation that "when RAM get
+  // increased for same CPU, all algorithms are providing good upload and
+  // compression time" while "increase in CPU yields better results".
+  // Multiplier = 1 + ram_pressure_coeff / ram_gb (mild: 1 GB -> 1.35x,
+  // 6 GB -> 1.06x with the default coefficient).
+  double ram_pressure_coeff = 0.35;
+};
+
+class TransferModel {
+ public:
+  explicit TransferModel(TransferModelParams params = {}) : p_(params) {}
+
+  // Client -> storage account. bytes is the *compressed* payload.
+  double upload_time_ms(std::size_t bytes, const VmSpec& client) const;
+
+  // Storage account -> cloud VM.
+  double download_time_ms(std::size_t bytes) const;
+
+  // Rescale a compute time measured on the reference host into the target
+  // context: CPU clock ratio plus RAM-pressure penalty.
+  double scale_compute_ms(double measured_ms, std::size_t working_set_bytes,
+                          const VmSpec& vm) const;
+
+  // The RAM-pressure multiplier alone (exposed for tests/ablation).
+  double ram_penalty(std::size_t working_set_bytes, const VmSpec& vm) const;
+
+  // Baseline small-RAM slowdown factor (>= 1), independent of payload size.
+  double ram_speed_factor(const VmSpec& vm) const;
+
+  const TransferModelParams& params() const noexcept { return p_; }
+
+ private:
+  TransferModelParams p_;
+};
+
+}  // namespace dnacomp::cloud

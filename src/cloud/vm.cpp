@@ -1,0 +1,41 @@
+#include "cloud/vm.h"
+
+#include <cstdio>
+
+namespace dnacomp::cloud {
+
+std::vector<Machine> paper_machines() {
+  return {
+      {"i5-host", {2.4, 6.0, 16.0}, false},
+      {"core2duo-host", {2.0, 3.0, 8.0}, false},
+      {"azure-vm", {2.1, 3.5, 100.0}, true},
+  };
+}
+
+std::array<double, 4> grid_ram_gb() { return {1.0, 2.0, 4.0, 6.0}; }
+std::array<double, 4> grid_cpu_ghz() { return {1.6, 2.0, 2.4, 3.0}; }
+std::array<double, 2> grid_bandwidth_mbps() { return {1.0, 8.0}; }
+
+std::vector<VmSpec> context_grid() {
+  std::vector<VmSpec> grid;
+  grid.reserve(32);
+  for (const double ram : grid_ram_gb()) {
+    for (const double cpu : grid_cpu_ghz()) {
+      for (const double bw : grid_bandwidth_mbps()) {
+        grid.push_back({cpu, ram, bw});
+      }
+    }
+  }
+  return grid;
+}
+
+VmSpec cloud_vm() { return {2.1, 3.5, 100.0}; }
+
+std::string context_label(const VmSpec& vm) {
+  char buf[80];
+  std::snprintf(buf, sizeof buf, "ram=%.0fGB cpu=%.1fGHz bw=%.0fMbps",
+                vm.ram_gb, vm.cpu_ghz, vm.bandwidth_mbps);
+  return buf;
+}
+
+}  // namespace dnacomp::cloud

@@ -1,0 +1,52 @@
+// Virtual-machine and context descriptions.
+//
+// The paper simulates contexts with VMware on two physical hosts plus one
+// Azure VM (§IV-A): an i5 @2.4 GHz / 6 GB, a Core 2 Duo @2.0 GHz / 3 GB, and
+// an Azure AMD @2.1 GHz / 3.5 GB. The context grid varies the VM's RAM, CPU
+// speed and bandwidth; this module provides those descriptions and the
+// catalogue of the paper's machines.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dnacomp::cloud {
+
+struct VmSpec {
+  double cpu_ghz = 2.4;
+  double ram_gb = 4.0;
+  double bandwidth_mbps = 8.0;  // uplink to the storage account
+
+  bool operator==(const VmSpec&) const = default;
+};
+
+struct Machine {
+  std::string name;
+  VmSpec spec;
+  bool is_cloud = false;
+};
+
+// The three machines of §IV-A.
+std::vector<Machine> paper_machines();
+
+// The 32-cell context grid used by the experiment runner:
+// RAM {1,2,4,6} GB x CPU {1.6,2.0,2.4,3.0} GHz x bandwidth {1,8} Mbit/s.
+// 4*4*2 = 32 contexts, matching "33 files * 32 contexts = 1056 rows" (§V).
+std::vector<VmSpec> context_grid();
+
+// Grid axes, exposed for benches that sweep one dimension at a time.
+std::array<double, 4> grid_ram_gb();
+std::array<double, 4> grid_cpu_ghz();
+std::array<double, 2> grid_bandwidth_mbps();
+
+// The fixed cloud-side VM (download + decompression happen at the cloud and
+// the paper keeps the cloud context constant: "only client context was
+// changed", §VI).
+VmSpec cloud_vm();
+
+// Human-readable context label, e.g. "ram=2GB cpu=2.4GHz bw=16Mbps".
+std::string context_label(const VmSpec& vm);
+
+}  // namespace dnacomp::cloud

@@ -1,0 +1,183 @@
+#include "compressors/bio2/bio2.h"
+
+#include <stdexcept>
+
+#include "bitio/bit_stream.h"
+#include "bitio/fibonacci.h"
+#include "bitio/models.h"
+#include "bitio/range_coder.h"
+#include "sequence/alphabet.h"
+#include "util/check.h"
+
+namespace dnacomp::compressors {
+namespace {
+
+inline std::size_t fingerprint(std::uint64_t kmer, unsigned table_bits) {
+  return static_cast<std::size_t>((kmer * 0x9E3779B97F4A7C15ULL) >>
+                                  (64 - table_bits));
+}
+
+}  // namespace
+
+Bio2Compressor::Bio2Compressor(Bio2Params params) : params_(params) {
+  DC_CHECK(params_.seed_bases >= 8 && params_.seed_bases <= 31);
+  DC_CHECK(params_.min_match >= params_.seed_bases);
+}
+
+std::vector<std::uint8_t> Bio2Compressor::compress(
+    std::span<const std::uint8_t> input, util::TrackingResource* mem) const {
+  const auto codes = require_dna_codes(input);
+  const std::size_t n = codes.size();
+
+  std::vector<std::uint8_t> out;
+  write_header(out, AlgorithmId::kBio2, n);
+  if (n == 0) return out;
+
+  util::TrackingResource local_meter;
+  util::TrackingResource& meter = mem != nullptr ? *mem : local_meter;
+
+  const unsigned k = params_.seed_bases;
+  std::vector<std::uint32_t> table(std::size_t{1} << params_.table_bits, 0);
+  util::ExternalAllocation table_mem(meter,
+                                     table.size() * sizeof(std::uint32_t));
+
+  auto seed_at = [&](std::size_t p) {
+    std::uint64_t v = 0;
+    for (unsigned t = 0; t < k; ++t) v = (v << 2) | codes[p + t];
+    return v;
+  };
+
+  bitio::BitWriter structure;
+  std::vector<std::uint8_t> literal_bases;
+
+  std::size_t i = 0;
+  std::size_t literal_run = 0;
+  auto flush_literal_run = [&] {
+    if (literal_run == 0) return;
+    structure.write_bit(0);
+    bitio::fibonacci_encode(structure, literal_run);
+    literal_run = 0;
+  };
+
+  while (i < n) {
+    std::size_t match_len = 0, match_src = 0;
+    if (i + k <= n) {
+      const std::uint32_t slot =
+          table[fingerprint(seed_at(i), params_.table_bits)];
+      if (slot != 0) {
+        const std::size_t j = slot - 1;
+        if (j < i) {
+          const std::size_t limit = n - i;
+          std::size_t len = 0;
+          while (len < limit && codes[j + len] == codes[i + len]) ++len;
+          if (len >= params_.min_match) {
+            match_len = len;
+            match_src = j;
+          }
+        }
+      }
+    }
+    if (match_len > 0) {
+      flush_literal_run();
+      structure.write_bit(1);
+      bitio::fibonacci_encode(structure, match_len - params_.min_match + 1);
+      bitio::fibonacci_encode(structure, match_src + 1);
+      const std::size_t end = i + match_len;
+      for (std::size_t p = i; p < end && p + k <= n; p += 4) {
+        table[fingerprint(seed_at(p), params_.table_bits)] =
+            static_cast<std::uint32_t>(p + 1);
+      }
+      i = end;
+    } else {
+      literal_bases.push_back(codes[i]);
+      ++literal_run;
+      if (i + k <= n) {
+        table[fingerprint(seed_at(i), params_.table_bits)] =
+            static_cast<std::uint32_t>(i + 1);
+      }
+      ++i;
+    }
+  }
+  flush_literal_run();
+
+  // Literal section: order-2 arithmetic coding (BioCompress-2's non-repeat
+  // coder).
+  bitio::OrderKBaseModel literal_model(params_.literal_order);
+  util::ExternalAllocation model_mem(meter, literal_model.memory_bytes());
+  bitio::RangeEncoder lit_enc;
+  for (const auto c : literal_bases) literal_model.encode(lit_enc, c);
+
+  const auto section_a = structure.finish();
+  const auto section_b = lit_enc.finish();
+  put_varint(out, section_a.size());
+  out.insert(out.end(), section_a.begin(), section_a.end());
+  out.insert(out.end(), section_b.begin(), section_b.end());
+  return out;
+}
+
+std::vector<std::uint8_t> Bio2Compressor::decompress(
+    std::span<const std::uint8_t> input, util::TrackingResource* mem) const {
+  const auto header = read_header(input, AlgorithmId::kBio2);
+  const auto n = static_cast<std::size_t>(header.original_size);
+  std::vector<std::uint8_t> text;
+  text.reserve(n);
+  if (n == 0) return text;
+
+  util::TrackingResource local_meter;
+  util::TrackingResource& meter = mem != nullptr ? *mem : local_meter;
+
+  std::size_t pos = header.header_bytes;
+  const std::uint64_t section_a_size = get_varint(input, &pos);
+  if (pos + section_a_size > input.size()) {
+    throw std::runtime_error("bio2: truncated structure section");
+  }
+  bitio::BitReader structure(input.subspan(pos, section_a_size));
+  bitio::RangeDecoder lit_dec(
+      input.subspan(pos + static_cast<std::size_t>(section_a_size)));
+
+  bitio::OrderKBaseModel literal_model(params_.literal_order);
+  util::ExternalAllocation model_mem(meter, literal_model.memory_bytes());
+
+  std::vector<std::uint8_t> codes;
+  codes.reserve(n);
+  util::ExternalAllocation out_mem(meter, n);
+
+  while (codes.size() < n) {
+    const unsigned flag = structure.read_bit();
+    if (structure.overflowed()) {
+      throw std::runtime_error("bio2: truncated token stream");
+    }
+    if (flag == 1) {
+      const std::uint64_t len_code = bitio::fibonacci_decode(structure);
+      const std::uint64_t src_code = bitio::fibonacci_decode(structure);
+      if (len_code == 0 || src_code == 0) {
+        throw std::runtime_error("bio2: malformed Fibonacci code");
+      }
+      const std::size_t len =
+          static_cast<std::size_t>(len_code) + params_.min_match - 1;
+      const std::size_t src = static_cast<std::size_t>(src_code) - 1;
+      if (src >= codes.size() || len > n - codes.size()) {
+        throw std::runtime_error("bio2: corrupt repeat token");
+      }
+      for (std::size_t t = 0; t < len; ++t) codes.push_back(codes[src + t]);
+    } else {
+      const std::uint64_t run = bitio::fibonacci_decode(structure);
+      if (run == 0 || run > n - codes.size()) {
+        throw std::runtime_error("bio2: corrupt literal run");
+      }
+      for (std::uint64_t t = 0; t < run; ++t) {
+        codes.push_back(static_cast<std::uint8_t>(literal_model.decode(lit_dec)));
+      }
+      if (lit_dec.overflowed()) {
+        throw std::runtime_error("bio2: truncated literal section");
+      }
+    }
+  }
+
+  for (const auto c : codes) {
+    text.push_back(static_cast<std::uint8_t>(sequence::code_to_base(c)));
+  }
+  return text;
+}
+
+}  // namespace dnacomp::compressors

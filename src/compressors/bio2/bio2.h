@@ -1,0 +1,41 @@
+// bio2: a BioCompress-2-style extension baseline (not part of the paper's
+// four, but listed in its Table 1 taxonomy). Exact repeats are encoded with
+// Fibonacci codes for (length, previous position) — the coding BioCompress
+// and DNAC use — and non-repeat regions fall back to order-2 arithmetic
+// coding, exactly as Table 1 describes for BioCompress-2.
+//
+// The stream is two sections: a bit-stream of structure tokens (flags,
+// Fibonacci-coded lengths/positions, literal run lengths) and a range-coded
+// section holding all literal bases.
+#pragma once
+
+#include "compressors/compressor.h"
+
+namespace dnacomp::compressors {
+
+struct Bio2Params {
+  unsigned seed_bases = 16;
+  unsigned min_match = 24;
+  unsigned table_bits = 18;
+  unsigned literal_order = 2;
+};
+
+class Bio2Compressor final : public Compressor {
+ public:
+  explicit Bio2Compressor(Bio2Params params = {});
+
+  AlgorithmId id() const noexcept override { return AlgorithmId::kBio2; }
+  std::string_view family() const noexcept override { return "substitution"; }
+
+  std::vector<std::uint8_t> compress(
+      std::span<const std::uint8_t> input,
+      util::TrackingResource* mem = nullptr) const override;
+  std::vector<std::uint8_t> decompress(
+      std::span<const std::uint8_t> input,
+      util::TrackingResource* mem = nullptr) const override;
+
+ private:
+  Bio2Params params_;
+};
+
+}  // namespace dnacomp::compressors

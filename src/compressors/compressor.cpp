@@ -1,0 +1,146 @@
+#include "compressors/compressor.h"
+
+#include <stdexcept>
+
+#include "compressors/bio2/bio2.h"
+#include "compressors/ctw/ctw.h"
+#include "compressors/dnapack/dnapack.h"
+#include "compressors/dnax/dnax.h"
+#include "compressors/gencompress/gencompress.h"
+#include "compressors/gzipx/gzipx.h"
+#include "compressors/naive2/naive2.h"
+#include "compressors/xm/xm.h"
+#include "sequence/alphabet.h"
+#include "util/check.h"
+
+namespace dnacomp::compressors {
+
+std::string_view algorithm_name(AlgorithmId id) {
+  switch (id) {
+    case AlgorithmId::kGzipX:
+      return "gzip";
+    case AlgorithmId::kCtw:
+      return "ctw";
+    case AlgorithmId::kGenCompress:
+      return "gencompress";
+    case AlgorithmId::kDnaX:
+      return "dnax";
+    case AlgorithmId::kBio2:
+      return "bio2";
+    case AlgorithmId::kXm:
+      return "xm";
+    case AlgorithmId::kDnaPack:
+      return "dnapack";
+    case AlgorithmId::kNaive2:
+      return "naive2";
+  }
+  return "unknown";
+}
+
+std::vector<std::uint8_t> Compressor::compress_str(
+    std::string_view s, util::TrackingResource* mem) const {
+  return compress(
+      {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()}, mem);
+}
+
+std::string Compressor::decompress_str(std::span<const std::uint8_t> data,
+                                       util::TrackingResource* mem) const {
+  const auto bytes = decompress(data, mem);
+  return std::string(reinterpret_cast<const char*>(bytes.data()),
+                     bytes.size());
+}
+
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::uint64_t get_varint(std::span<const std::uint8_t> data,
+                         std::size_t* pos) {
+  std::uint64_t v = 0;
+  unsigned shift = 0;
+  for (;;) {
+    if (*pos >= data.size() || shift > 63) {
+      throw std::runtime_error("varint: truncated or overlong");
+    }
+    const std::uint8_t b = data[(*pos)++];
+    v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+    if ((b & 0x80) == 0) return v;
+    shift += 7;
+  }
+}
+
+void write_header(std::vector<std::uint8_t>& out, AlgorithmId id,
+                  std::uint64_t original_size) {
+  out.push_back('D');
+  out.push_back('C');
+  out.push_back(static_cast<std::uint8_t>(id));
+  put_varint(out, original_size);
+}
+
+StreamHeader read_header(std::span<const std::uint8_t> data,
+                         AlgorithmId expected) {
+  if (data.size() < 4 || data[0] != 'D' || data[1] != 'C') {
+    throw std::runtime_error("compressed stream: bad magic");
+  }
+  StreamHeader h{};
+  h.algorithm = static_cast<AlgorithmId>(data[2]);
+  if (h.algorithm != expected) {
+    throw std::runtime_error(
+        std::string("compressed stream: algorithm mismatch, stream is ") +
+        std::string(algorithm_name(h.algorithm)) + ", decoder is " +
+        std::string(algorithm_name(expected)));
+  }
+  std::size_t pos = 3;
+  h.original_size = get_varint(data, &pos);
+  h.header_bytes = pos;
+  return h;
+}
+
+std::vector<std::uint8_t> require_dna_codes(
+    std::span<const std::uint8_t> raw) {
+  std::vector<std::uint8_t> codes;
+  codes.reserve(raw.size());
+  for (std::uint8_t b : raw) {
+    const std::uint8_t code =
+        sequence::base_to_code(static_cast<char>(b));
+    if (code == 0xFF) {
+      throw std::invalid_argument(
+          "DNA compressor input must be ACGT text (run the Cleanser first)");
+    }
+    codes.push_back(code);
+  }
+  return codes;
+}
+
+std::vector<std::unique_ptr<Compressor>> make_all_compressors(
+    bool include_extensions) {
+  std::vector<std::unique_ptr<Compressor>> v;
+  v.push_back(std::make_unique<CtwCompressor>());
+  v.push_back(std::make_unique<DnaXCompressor>());
+  v.push_back(std::make_unique<GenCompressCompressor>());
+  v.push_back(std::make_unique<GzipXCompressor>());
+  if (include_extensions) {
+    v.push_back(std::make_unique<Bio2Compressor>());
+    v.push_back(std::make_unique<XmCompressor>());
+    v.push_back(std::make_unique<DnaPackCompressor>());
+  }
+  return v;
+}
+
+std::unique_ptr<Compressor> make_compressor(std::string_view name) {
+  if (name == "gzip" || name == "gzipx") return std::make_unique<GzipXCompressor>();
+  if (name == "ctw") return std::make_unique<CtwCompressor>();
+  if (name == "gencompress") return std::make_unique<GenCompressCompressor>();
+  if (name == "dnax") return std::make_unique<DnaXCompressor>();
+  if (name == "bio2") return std::make_unique<Bio2Compressor>();
+  if (name == "xm") return std::make_unique<XmCompressor>();
+  if (name == "dnapack") return std::make_unique<DnaPackCompressor>();
+  if (name == "naive2") return std::make_unique<Naive2Compressor>();
+  return nullptr;
+}
+
+}  // namespace dnacomp::compressors

@@ -1,0 +1,108 @@
+// Common compressor interface.
+//
+// All four algorithm families of the paper (CTW, DNAX, GenCompress, GzipX)
+// plus the bio2 extension implement this interface. Inputs are raw bytes;
+// the DNA-specific codecs require the bytes to be upper-case ACGT text (what
+// the Cleanser produces) and throw std::invalid_argument otherwise, while
+// GzipX accepts arbitrary bytes.
+//
+// Every compressed stream starts with a common header:
+//   magic 'D','C' | algorithm id byte | varint(original size)
+// so streams are self-describing and cross-algorithm mixups fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/memory_tracker.h"
+
+namespace dnacomp::compressors {
+
+enum class AlgorithmId : std::uint8_t {
+  kGzipX = 1,
+  kCtw = 2,
+  kGenCompress = 3,
+  kDnaX = 4,
+  kBio2 = 5,
+  // 6 is reserved by the vertical (reference-based) stream format.
+  kXm = 7,
+  kDnaPack = 8,
+  kNaive2 = 9,
+};
+
+std::string_view algorithm_name(AlgorithmId id);
+
+class Compressor {
+ public:
+  virtual ~Compressor() = default;
+
+  virtual AlgorithmId id() const noexcept = 0;
+  // Short name matching the paper's usage: "gzip", "ctw", "gencompress",
+  // "dnax", "bio2".
+  std::string_view name() const { return algorithm_name(id()); }
+  // Paper taxonomy (§III): "general-purpose", "substitution",
+  // "substitution-approximate", "statistical".
+  virtual std::string_view family() const noexcept = 0;
+
+  // mem, when non-null, meters the large working structures; its peak_bytes()
+  // after the call is the RAM_used figure of the paper's labeling equation.
+  virtual std::vector<std::uint8_t> compress(
+      std::span<const std::uint8_t> input,
+      util::TrackingResource* mem = nullptr) const = 0;
+
+  virtual std::vector<std::uint8_t> decompress(
+      std::span<const std::uint8_t> input,
+      util::TrackingResource* mem = nullptr) const = 0;
+
+  // Convenience overloads for string data.
+  std::vector<std::uint8_t> compress_str(
+      std::string_view s, util::TrackingResource* mem = nullptr) const;
+  std::string decompress_str(std::span<const std::uint8_t> data,
+                             util::TrackingResource* mem = nullptr) const;
+};
+
+// ------------------------------------------------------------------ header
+
+struct StreamHeader {
+  AlgorithmId algorithm;
+  std::uint64_t original_size;
+  std::size_t header_bytes;  // bytes consumed by the header
+};
+
+void write_header(std::vector<std::uint8_t>& out, AlgorithmId id,
+                  std::uint64_t original_size);
+
+// Parses and validates; throws std::runtime_error on bad magic, and checks
+// the algorithm id against `expected`.
+StreamHeader read_header(std::span<const std::uint8_t> data,
+                         AlgorithmId expected);
+
+// ------------------------------------------------------------------ varint
+
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v);
+// Returns value and advances *pos; throws std::runtime_error on truncation.
+std::uint64_t get_varint(std::span<const std::uint8_t> data, std::size_t* pos);
+
+// ---------------------------------------------------------------- registry
+
+// All compressors evaluated by the paper, in its order: CTW, DNAX,
+// GenCompress, GzipX — plus the bio2 extension when include_extensions.
+std::vector<std::unique_ptr<Compressor>> make_all_compressors(
+    bool include_extensions = false);
+
+// Factory by paper name ("ctw", "dnax", "gencompress", "gzip") or an
+// extension name ("bio2", "xm", "dnapack"); returns nullptr for unknown
+// names.
+std::unique_ptr<Compressor> make_compressor(std::string_view name);
+
+// ------------------------------------------------------------- validation
+
+// Decodes ACGT text to 2-bit codes; throws std::invalid_argument if the
+// input is not strict DNA (shared guard for the DNA-specific codecs).
+std::vector<std::uint8_t> require_dna_codes(std::span<const std::uint8_t> raw);
+
+}  // namespace dnacomp::compressors

@@ -1,0 +1,196 @@
+#include "compressors/ctw/ctw.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "bitio/range_coder.h"
+#include "sequence/alphabet.h"
+#include "util/check.h"
+
+namespace dnacomp::compressors {
+namespace {
+
+struct Node {
+  std::uint32_t c0 = 0;
+  std::uint32_t c1 = 0;
+  // log(beta) where beta = P_e(past) / P_w(children, past); clamped so the
+  // sigmoid below never saturates to exactly 0 or 1.
+  double log_beta = 0.0;
+  std::uint32_t child[2] = {0, 0};  // 0 = absent (index 0 is the root)
+};
+
+constexpr double kLogBetaClamp = 40.0;
+constexpr std::uint32_t kRescaleAt = 1u << 16;
+
+// The CTW model shared by encoder and decoder. All arithmetic is plain
+// double evaluated in one code path, so both sides compute bit-identical
+// probabilities.
+class CtwModel {
+ public:
+  CtwModel(const CtwParams& params, util::TrackingResource& meter)
+      : params_(params),
+        meter_(meter),
+        nodes_(1) {  // root
+    meter_.note_external(nodes_.capacity() * sizeof(Node));
+    path_.reserve(params_.depth + 1);
+    pe1_.resize(params_.depth + 1);
+    pcond1_.resize(params_.depth + 1);
+  }
+
+  ~CtwModel() {
+    meter_.release_external(nodes_.capacity() * sizeof(Node));
+  }
+
+  // Mixture probability that the next bit is 1, for the current history.
+  // Fills path_/pe1_/pcond1_ as a side effect; call update(bit) right after.
+  double predict_one() {
+    path_.clear();
+    std::uint32_t idx = 0;
+    path_.push_back(idx);
+    for (unsigned d = 0; d < params_.depth; ++d) {
+      const unsigned bit = (history_ >> d) & 1u;  // most recent bit first
+      std::uint32_t next = nodes_[idx].child[bit];
+      if (next == 0) {
+        if (nodes_.size() >= params_.max_nodes) break;
+        next = static_cast<std::uint32_t>(nodes_.size());
+        const std::size_t old_cap = nodes_.capacity();
+        nodes_.emplace_back();
+        if (nodes_.capacity() != old_cap) {
+          meter_.release_external(old_cap * sizeof(Node));
+          meter_.note_external(nodes_.capacity() * sizeof(Node));
+        }
+        nodes_[idx].child[bit] = next;
+      }
+      idx = next;
+      path_.push_back(idx);
+    }
+
+    // KT estimates along the path.
+    for (std::size_t d = 0; d < path_.size(); ++d) {
+      const Node& n = nodes_[path_[d]];
+      pe1_[d] = (static_cast<double>(n.c1) + 0.5) /
+                (static_cast<double>(n.c0 + n.c1) + 1.0);
+    }
+    // Weighted mixture, leaf to root. The effective leaf is the deepest
+    // node on the path (full depth, or where the pool ran out).
+    const std::size_t leaf = path_.size() - 1;
+    pcond1_[leaf] = pe1_[leaf];
+    for (std::size_t d = leaf; d-- > 0;) {
+      const double w = sigmoid(nodes_[path_[d]].log_beta);
+      pcond1_[d] = w * pe1_[d] + (1.0 - w) * pcond1_[d + 1];
+    }
+    return pcond1_[0];
+  }
+
+  // Account the coded bit into every node on the path and shift history.
+  void update(unsigned bit) {
+    const std::size_t leaf = path_.size() - 1;
+    for (std::size_t d = 0; d < path_.size(); ++d) {
+      Node& n = nodes_[path_[d]];
+      if (d < leaf) {
+        const double pe_y = bit ? pe1_[d] : 1.0 - pe1_[d];
+        const double pc_y = bit ? pcond1_[d + 1] : 1.0 - pcond1_[d + 1];
+        n.log_beta += std::log(pe_y) - std::log(pc_y);
+        if (n.log_beta > kLogBetaClamp) n.log_beta = kLogBetaClamp;
+        if (n.log_beta < -kLogBetaClamp) n.log_beta = -kLogBetaClamp;
+      }
+      if (bit) {
+        ++n.c1;
+      } else {
+        ++n.c0;
+      }
+      if (n.c0 + n.c1 >= kRescaleAt) {
+        n.c0 = (n.c0 + 1) / 2;
+        n.c1 = (n.c1 + 1) / 2;
+      }
+    }
+    history_ = (history_ << 1) | bit;
+  }
+
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+
+ private:
+  static double sigmoid(double x) noexcept {
+    // beta / (beta + 1) with beta = e^x.
+    if (x >= 0) {
+      const double e = std::exp(-x);
+      return 1.0 / (1.0 + e);
+    }
+    const double e = std::exp(x);
+    return e / (1.0 + e);
+  }
+
+  CtwParams params_;
+  util::TrackingResource& meter_;
+  std::vector<Node> nodes_;
+  std::uint64_t history_ = 0;
+  std::vector<std::uint32_t> path_;
+  std::vector<double> pe1_;
+  std::vector<double> pcond1_;
+};
+
+}  // namespace
+
+CtwCompressor::CtwCompressor(CtwParams params) : params_(params) {
+  DC_CHECK(params_.depth >= 1 && params_.depth <= 48);
+  DC_CHECK(params_.max_nodes >= 1024);
+}
+
+std::vector<std::uint8_t> CtwCompressor::compress(
+    std::span<const std::uint8_t> input, util::TrackingResource* mem) const {
+  const auto codes = require_dna_codes(input);
+
+  std::vector<std::uint8_t> out;
+  write_header(out, AlgorithmId::kCtw, input.size());
+  if (codes.empty()) return out;
+
+  util::TrackingResource local_meter;
+  util::TrackingResource& meter = mem != nullptr ? *mem : local_meter;
+
+  CtwModel model(params_, meter);
+  bitio::RangeEncoder enc;
+  for (const std::uint8_t base : codes) {
+    for (int b = 1; b >= 0; --b) {
+      const unsigned bit = (base >> b) & 1u;
+      const double p1 = model.predict_one();
+      enc.encode_bit_p(1.0 - p1, bit);
+      model.update(bit);
+    }
+  }
+  const auto body = enc.finish();
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+std::vector<std::uint8_t> CtwCompressor::decompress(
+    std::span<const std::uint8_t> input, util::TrackingResource* mem) const {
+  const auto header = read_header(input, AlgorithmId::kCtw);
+  std::vector<std::uint8_t> out;
+  out.reserve(header.original_size);
+  if (header.original_size == 0) return out;
+
+  util::TrackingResource local_meter;
+  util::TrackingResource& meter = mem != nullptr ? *mem : local_meter;
+
+  CtwModel model(params_, meter);
+  bitio::RangeDecoder dec(input.subspan(header.header_bytes));
+  for (std::uint64_t i = 0; i < header.original_size; ++i) {
+    unsigned base = 0;
+    for (int b = 1; b >= 0; --b) {
+      const double p1 = model.predict_one();
+      const unsigned bit = dec.decode_bit_p(1.0 - p1);
+      model.update(bit);
+      base = (base << 1) | bit;
+    }
+    out.push_back(
+        static_cast<std::uint8_t>(sequence::code_to_base(
+            static_cast<std::uint8_t>(base))));
+  }
+  if (dec.overflowed()) {
+    throw std::runtime_error("ctw: truncated stream");
+  }
+  return out;
+}
+
+}  // namespace dnacomp::compressors

@@ -1,0 +1,45 @@
+// Context Tree Weighting (Willems, Shtarkov & Tjalkens 1995) over the
+// bit-decomposed DNA stream.
+//
+// Each base is two bits; a depth-D binary context tree mixes KT estimators
+// over all context lengths 0..D via the beta-weighting recursion, and the
+// mixture probability drives the range coder. The model is symmetric, so
+// decompression does the same work as compression — which is precisely the
+// paper's observation that CTW "consumes more time in decompression than
+// other algorithms" while having a good compression ratio, and that it
+// "consumes more memory" (the node pool below is the reason).
+#pragma once
+
+#include "compressors/compressor.h"
+
+namespace dnacomp::compressors {
+
+struct CtwParams {
+  // Context depth in bits (2 bits per base => depth 20 is 10 bases).
+  unsigned depth = 20;
+  // Node pool cap; when exhausted, deeper contexts are simply not created
+  // (graceful model truncation, keeps memory bounded).
+  std::size_t max_nodes = std::size_t{1} << 22;
+};
+
+class CtwCompressor final : public Compressor {
+ public:
+  explicit CtwCompressor(CtwParams params = {});
+
+  AlgorithmId id() const noexcept override { return AlgorithmId::kCtw; }
+  std::string_view family() const noexcept override { return "statistical"; }
+
+  std::vector<std::uint8_t> compress(
+      std::span<const std::uint8_t> input,
+      util::TrackingResource* mem = nullptr) const override;
+  std::vector<std::uint8_t> decompress(
+      std::span<const std::uint8_t> input,
+      util::TrackingResource* mem = nullptr) const override;
+
+  const CtwParams& params() const noexcept { return params_; }
+
+ private:
+  CtwParams params_;
+};
+
+}  // namespace dnacomp::compressors

@@ -1,0 +1,341 @@
+#include "compressors/dnapack/dnapack.h"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+#include "bitio/models.h"
+#include "bitio/range_coder.h"
+#include "sequence/alphabet.h"
+#include "util/check.h"
+
+namespace dnacomp::compressors {
+namespace {
+
+inline std::size_t bucket_of(std::uint64_t kmer, unsigned table_bits) {
+  return static_cast<std::size_t>((kmer * 0x9E3779B97F4A7C15ULL) >>
+                                  (64 - table_bits));
+}
+
+struct PackModels {
+  explicit PackModels(unsigned literal_order)
+      : literal(literal_order),
+        offset(32),
+        length(24),
+        mismatch_count(16),
+        mismatch_gap(24),
+        replacement(2) {}
+
+  bitio::AdaptiveBitModel is_match;
+  bitio::AdaptiveBitModel is_rc;
+  bitio::OrderKBaseModel literal;
+  bitio::UIntModel offset;
+  bitio::UIntModel length;
+  bitio::UIntModel mismatch_count;
+  bitio::UIntModel mismatch_gap;
+  bitio::BitTreeModel replacement;
+};
+
+// Best candidate match starting at a position (one per position keeps the
+// DP table linear in n).
+struct BestMatch {
+  std::uint32_t src = 0;    // forward: source start; RC: anchor index
+  std::uint32_t len = 0;    // 0 = no candidate
+  float cost_bits = 0.0f;   // estimated token cost
+  bool is_rc = false;
+};
+
+double forward_token_cost(std::size_t offset, std::size_t len,
+                          std::size_t n_mismatch) {
+  // flag + rc bit + offset + length + mismatch count + per-mismatch
+  // (gap + base), with gap cost approximated by the mean spacing.
+  double cost = 3.0 + 2.0 * static_cast<double>(std::bit_width(offset)) +
+                2.0 * static_cast<double>(std::bit_width(len)) +
+                2.0 * static_cast<double>(std::bit_width(n_mismatch + 1));
+  if (n_mismatch > 0) {
+    const std::size_t mean_gap = len / (n_mismatch + 1) + 1;
+    cost += static_cast<double>(n_mismatch) *
+            (2.0 * static_cast<double>(std::bit_width(mean_gap)) + 2.0);
+  }
+  return cost;
+}
+
+double rc_token_cost(std::size_t offset, std::size_t len) {
+  return 3.0 + 2.0 * static_cast<double>(std::bit_width(offset)) +
+         2.0 * static_cast<double>(std::bit_width(len));
+}
+
+}  // namespace
+
+DnaPackCompressor::DnaPackCompressor(DnaPackParams params) : params_(params) {
+  DC_CHECK(params_.seed_bases >= 6 && params_.seed_bases <= 31);
+  DC_CHECK(params_.min_match >= params_.seed_bases);
+  DC_CHECK(params_.literal_bits > 0.0);
+}
+
+std::vector<std::uint8_t> DnaPackCompressor::compress(
+    std::span<const std::uint8_t> input, util::TrackingResource* mem) const {
+  const auto codes = require_dna_codes(input);
+  const std::size_t n = codes.size();
+
+  std::vector<std::uint8_t> out;
+  write_header(out, AlgorithmId::kDnaPack, n);
+  if (n == 0) return out;
+
+  util::TrackingResource local_meter;
+  util::TrackingResource& meter = mem != nullptr ? *mem : local_meter;
+
+  const unsigned k = params_.seed_bases;
+  const std::uint64_t kmer_mask = (std::uint64_t{1} << (2 * k)) - 1;
+  const unsigned rc_shift = 2 * (k - 1);
+
+  // Phase 1 — candidate search: chained index over all seed positions, the
+  // best match recorded per start position. This table plus the DP arrays
+  // are why DNAPack needs more memory than the greedy parsers.
+  std::vector<std::uint32_t> head(std::size_t{1} << params_.table_bits, 0);
+  std::vector<std::uint32_t> prev(n, 0);
+  std::vector<BestMatch> best(n);
+  util::ExternalAllocation search_mem(
+      meter, (head.size() + prev.size()) * sizeof(std::uint32_t) +
+                 best.size() * sizeof(BestMatch));
+
+  auto extend_forward = [&](std::size_t j, std::size_t i,
+                            std::size_t* mismatches) {
+    const std::size_t limit = std::min<std::size_t>(params_.max_match, n - i);
+    std::size_t t = 0, mm = 0;
+    unsigned run = 0;
+    while (t < limit) {
+      if (codes[j + t] == codes[i + t]) {
+        run = 0;
+      } else {
+        ++run;
+        if (run >= params_.max_mismatch_run) break;
+        if (static_cast<double>(mm + 1) >
+            params_.max_mismatch_rate * static_cast<double>(t + 1) + 2.0) {
+          break;
+        }
+        ++mm;
+      }
+      ++t;
+    }
+    t -= run;  // never end on a mismatch run
+    *mismatches = mm;
+    return t;
+  };
+  auto extend_rc = [&](std::size_t anchor, std::size_t i) {
+    std::size_t len = 0;
+    const std::size_t limit = std::min(n - i, anchor + 1);
+    while (len < limit && codes[i + len] == 3 - codes[anchor - len]) ++len;
+    return len;
+  };
+
+  std::uint64_t fwd = 0, rc = 0;
+  for (std::size_t i = 0; i + k <= n; ++i) {
+    if (i == 0) {
+      for (unsigned t = 0; t < k; ++t) {
+        fwd = ((fwd << 2) | codes[t]) & kmer_mask;
+        rc = (rc >> 2) |
+             (static_cast<std::uint64_t>(3 - codes[t]) << rc_shift);
+      }
+    } else {
+      const std::uint64_t c = codes[i + k - 1];
+      fwd = ((fwd << 2) | c) & kmer_mask;
+      rc = (rc >> 2) | (std::uint64_t{3 - c} << rc_shift);
+    }
+
+    // Forward candidates along the chain.
+    double best_gain = 0.0;
+    const std::size_t fb = bucket_of(fwd, params_.table_bits);
+    std::uint32_t slot = head[fb];
+    unsigned examined = 0;
+    while (slot != 0 && examined < params_.max_candidates) {
+      const std::size_t j = slot - 1;
+      slot = prev[j];
+      ++examined;
+      bool seed_ok = true;
+      for (unsigned t = 0; t < k; ++t) {
+        if (codes[j + t] != codes[i + t]) {
+          seed_ok = false;
+          break;
+        }
+      }
+      if (!seed_ok) continue;
+      std::size_t mm = 0;
+      const std::size_t len = extend_forward(j, i, &mm);
+      if (len < params_.min_match) continue;
+      const double cost = forward_token_cost(i - j, len, mm);
+      const double gain =
+          params_.literal_bits * static_cast<double>(len) - cost;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best[i] = {static_cast<std::uint32_t>(j),
+                   static_cast<std::uint32_t>(len),
+                   static_cast<float>(cost), false};
+      }
+    }
+    // Reverse-complement candidate (exact), via the RC probe.
+    const std::uint32_t rslot = head[bucket_of(rc, params_.table_bits)];
+    if (rslot != 0) {
+      const std::size_t j = rslot - 1;
+      if (j + k <= i) {
+        const std::size_t anchor = j + k - 1;
+        const std::size_t len = extend_rc(anchor, i);
+        if (len >= params_.min_match) {
+          const double cost = rc_token_cost(i - anchor, len);
+          const double gain =
+              params_.literal_bits * static_cast<double>(len) - cost;
+          if (gain > best_gain) {
+            best_gain = gain;
+            best[i] = {static_cast<std::uint32_t>(anchor),
+                       static_cast<std::uint32_t>(len),
+                       static_cast<float>(cost), true};
+          }
+        }
+      }
+    }
+
+    prev[i] = head[fb];
+    head[fb] = static_cast<std::uint32_t>(i + 1);
+  }
+
+  // Phase 2 — DP over the parse (right to left).
+  std::vector<double> dp(n + 1, 0.0);
+  std::vector<std::uint8_t> take(n, 0);  // 1 = use best[i], 0 = literal
+  util::ExternalAllocation dp_mem(meter, dp.size() * sizeof(double) +
+                                             take.size());
+  for (std::size_t i = n; i-- > 0;) {
+    dp[i] = dp[i + 1] + params_.literal_bits;
+    if (best[i].len != 0) {
+      const double with_match =
+          dp[i + best[i].len] + static_cast<double>(best[i].cost_bits);
+      if (with_match < dp[i]) {
+        dp[i] = with_match;
+        take[i] = 1;
+      }
+    }
+  }
+
+  // Phase 3 — emit the chosen parse with adaptive models.
+  PackModels models(params_.literal_order);
+  util::ExternalAllocation model_mem(meter, models.literal.memory_bytes());
+  bitio::RangeEncoder enc;
+  std::size_t i = 0;
+  while (i < n) {
+    if (take[i] == 0) {
+      models.is_match.encode(enc, 0);
+      models.literal.encode(enc, codes[i]);
+      ++i;
+      continue;
+    }
+    const BestMatch& m = best[i];
+    models.is_match.encode(enc, 1);
+    models.is_rc.encode(enc, m.is_rc ? 1u : 0u);
+    models.offset.encode(enc, i - m.src - 1);
+    models.length.encode(enc, m.len - params_.min_match);
+    if (!m.is_rc) {
+      // Recompute the mismatch list for the chosen match only.
+      std::vector<std::uint32_t> mismatches;
+      for (std::uint32_t t = 0; t < m.len; ++t) {
+        if (codes[m.src + t] != codes[i + t]) mismatches.push_back(t);
+      }
+      models.mismatch_count.encode(enc, mismatches.size());
+      std::uint32_t cursor = 0;
+      for (const auto mpos : mismatches) {
+        models.mismatch_gap.encode(enc, mpos - cursor);
+        cursor = mpos + 1;
+        const unsigned src_base = codes[m.src + mpos];
+        const unsigned actual = codes[i + mpos];
+        models.replacement.encode(enc, (actual - src_base - 1) & 3u);
+      }
+    }
+    i += m.len;
+  }
+
+  const auto body = enc.finish();
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+std::vector<std::uint8_t> DnaPackCompressor::decompress(
+    std::span<const std::uint8_t> input, util::TrackingResource* mem) const {
+  const auto header = read_header(input, AlgorithmId::kDnaPack);
+  const auto n = static_cast<std::size_t>(header.original_size);
+  std::vector<std::uint8_t> text;
+  text.reserve(n);
+  if (n == 0) return text;
+
+  util::TrackingResource local_meter;
+  util::TrackingResource& meter = mem != nullptr ? *mem : local_meter;
+
+  PackModels models(params_.literal_order);
+  util::ExternalAllocation model_mem(meter, models.literal.memory_bytes());
+  std::vector<std::uint8_t> codes;
+  codes.reserve(n);
+  util::ExternalAllocation out_mem(meter, n);
+
+  bitio::RangeDecoder dec(input.subspan(header.header_bytes));
+  while (codes.size() < n) {
+    if (models.is_match.decode(dec) == 0) {
+      codes.push_back(static_cast<std::uint8_t>(models.literal.decode(dec)));
+    } else {
+      const bool is_rc = models.is_rc.decode(dec) != 0;
+      const std::size_t offset =
+          static_cast<std::size_t>(models.offset.decode(dec)) + 1;
+      const std::size_t len = static_cast<std::size_t>(
+          models.length.decode(dec)) + params_.min_match;
+      if (offset > codes.size() || len > n - codes.size()) {
+        throw std::runtime_error("dnapack: corrupt match token");
+      }
+      if (is_rc) {
+        const std::size_t anchor = codes.size() - offset;
+        if (len > anchor + 1) {
+          throw std::runtime_error("dnapack: RC match before stream start");
+        }
+        for (std::size_t t = 0; t < len; ++t) {
+          codes.push_back(static_cast<std::uint8_t>(3 - codes[anchor - t]));
+        }
+      } else {
+        const auto n_mismatch =
+            static_cast<std::size_t>(models.mismatch_count.decode(dec));
+        if (n_mismatch > len) {
+          throw std::runtime_error("dnapack: corrupt mismatch count");
+        }
+        std::vector<std::pair<std::size_t, unsigned>> edits;
+        edits.reserve(n_mismatch);
+        std::size_t cursor = 0;
+        for (std::size_t m = 0; m < n_mismatch; ++m) {
+          const auto gap =
+              static_cast<std::size_t>(models.mismatch_gap.decode(dec));
+          const std::size_t mpos = cursor + gap;
+          cursor = mpos + 1;
+          if (mpos >= len) {
+            throw std::runtime_error("dnapack: mismatch offset out of range");
+          }
+          edits.emplace_back(
+              mpos, static_cast<unsigned>(models.replacement.decode(dec)));
+        }
+        const std::size_t src = codes.size() - offset;
+        std::size_t next_edit = 0;
+        for (std::size_t t = 0; t < len; ++t) {
+          std::uint8_t base = codes[src + t];
+          if (next_edit < edits.size() && edits[next_edit].first == t) {
+            base = static_cast<std::uint8_t>(
+                (base + edits[next_edit].second + 1) & 3u);
+            ++next_edit;
+          }
+          codes.push_back(base);
+        }
+      }
+    }
+    if (dec.overflowed()) {
+      throw std::runtime_error("dnapack: truncated stream");
+    }
+  }
+
+  for (const auto c : codes) {
+    text.push_back(static_cast<std::uint8_t>(sequence::code_to_base(c)));
+  }
+  return text;
+}
+
+}  // namespace dnacomp::compressors

@@ -1,0 +1,53 @@
+// DNAPack-style compressor (Behzadi & Le Fessant, CPM'05): dynamic
+// programming chooses the optimal non-overlapping parse into repeat blocks
+// and literal runs — paper Table 1: "Dynamic programming to search repeats;
+// Hamming distance [for repeats]; order-2 arithmetic coding ... for
+// non-repeats".
+//
+// Where DNAX and GenCompress parse greedily, DNAPack solves
+//   dp[i] = min( dp[i+1] + literal_bits,
+//                min over matches m starting at i: dp[i + len(m)] + bits(m) )
+// right to left over candidate exact/reverse-complement/Hamming repeats
+// gathered from a chained k-mer index, then emits the chosen tokens with
+// the same adaptive arithmetic models the other substitution codecs use.
+// The published result — DNAPack beats the greedy parsers by a few percent
+// at a higher search cost — is reproduced in the ablation bench.
+#pragma once
+
+#include "compressors/compressor.h"
+
+namespace dnacomp::compressors {
+
+struct DnaPackParams {
+  unsigned seed_bases = 11;
+  unsigned table_bits = 20;
+  unsigned max_candidates = 24;   // chain positions examined per start
+  unsigned min_match = 16;
+  unsigned max_match = 1 << 13;
+  double max_mismatch_rate = 0.12;
+  unsigned max_mismatch_run = 4;
+  double literal_bits = 1.9;      // DP estimate of the order-2 coder's cost
+  unsigned literal_order = 2;
+};
+
+class DnaPackCompressor final : public Compressor {
+ public:
+  explicit DnaPackCompressor(DnaPackParams params = {});
+
+  AlgorithmId id() const noexcept override { return AlgorithmId::kDnaPack; }
+  std::string_view family() const noexcept override {
+    return "substitution-approximate";
+  }
+
+  std::vector<std::uint8_t> compress(
+      std::span<const std::uint8_t> input,
+      util::TrackingResource* mem = nullptr) const override;
+  std::vector<std::uint8_t> decompress(
+      std::span<const std::uint8_t> input,
+      util::TrackingResource* mem = nullptr) const override;
+
+ private:
+  DnaPackParams params_;
+};
+
+}  // namespace dnacomp::compressors

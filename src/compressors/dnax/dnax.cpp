@@ -1,0 +1,244 @@
+#include "compressors/dnax/dnax.h"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+#include "bitio/models.h"
+#include "bitio/range_coder.h"
+#include "sequence/alphabet.h"
+#include "util/check.h"
+
+namespace dnacomp::compressors {
+namespace {
+
+inline std::size_t fingerprint(std::uint64_t kmer, unsigned table_bits) {
+  return static_cast<std::size_t>((kmer * 0x9E3779B97F4A7C15ULL) >>
+                                  (64 - table_bits));
+}
+
+// Shared model set; the encoder and decoder must evolve these identically.
+struct DnaXModels {
+  explicit DnaXModels(unsigned literal_order)
+      : literal(literal_order), length(24), offset(32) {}
+
+  bitio::AdaptiveBitModel is_match;
+  bitio::AdaptiveBitModel is_rc;
+  bitio::OrderKBaseModel literal;
+  bitio::UIntModel length;  // len - min_match
+  bitio::UIntModel offset;  // i - source_anchor, >= 1, coded as offset - 1
+};
+
+// Cheap cost heuristic (bits) for accepting a match over literals.
+double match_cost_bits(std::size_t len, std::size_t offset) {
+  return 2.0 + 2.0 * static_cast<double>(std::bit_width(len)) +
+         2.0 * static_cast<double>(std::bit_width(offset));
+}
+
+}  // namespace
+
+DnaXCompressor::DnaXCompressor(DnaXParams params) : params_(params) {
+  DC_CHECK(params_.seed_bases >= 8 && params_.seed_bases <= 31);
+  DC_CHECK(params_.min_match >= params_.seed_bases);
+  DC_CHECK(params_.table_bits >= 10 && params_.table_bits <= 26);
+  DC_CHECK(params_.literal_order <= 8);
+}
+
+std::vector<std::uint8_t> DnaXCompressor::compress(
+    std::span<const std::uint8_t> input, util::TrackingResource* mem) const {
+  const auto codes = require_dna_codes(input);
+  const std::size_t n = codes.size();
+
+  std::vector<std::uint8_t> out;
+  write_header(out, AlgorithmId::kDnaX, n);
+  if (n == 0) return out;
+
+  util::TrackingResource local_meter;
+  util::TrackingResource& meter = mem != nullptr ? *mem : local_meter;
+
+  const unsigned k = params_.seed_bases;
+  const std::uint64_t kmer_mask = (std::uint64_t{1} << (2 * k)) - 1;
+  const unsigned rc_shift = 2 * (k - 1);
+
+  // Fingerprint table: most recent position whose forward k-mer hashes here
+  // (+1; 0 = empty). Fixed size — this is what keeps DNAX memory flat.
+  std::vector<std::uint32_t> table(std::size_t{1} << params_.table_bits, 0);
+  util::ExternalAllocation table_mem(meter,
+                                     table.size() * sizeof(std::uint32_t));
+
+  DnaXModels models(params_.literal_order);
+  util::ExternalAllocation model_mem(meter, models.literal.memory_bytes());
+  bitio::RangeEncoder enc;
+
+  // Rolling k-mers for the window starting at each position.
+  std::uint64_t fwd = 0, rc = 0;
+  auto kmer_at = [&](std::size_t start) {
+    // (Re)build both k-mers for window [start, start+k). Called on jumps.
+    fwd = 0;
+    rc = 0;
+    for (unsigned t = 0; t < k; ++t) {
+      const std::uint64_t c = codes[start + t];
+      fwd = ((fwd << 2) | c) & kmer_mask;
+      rc = (rc >> 2) | (std::uint64_t{3 - c} << rc_shift);
+    }
+  };
+
+  auto extend_forward = [&](std::size_t src, std::size_t at) {
+    std::size_t len = 0;
+    const std::size_t limit = n - at;
+    while (len < limit && codes[src + len] == codes[at + len]) ++len;
+    return len;
+  };
+  // Reverse-complement extension: out[at + t] == 3 - codes[anchor - t].
+  auto extend_rc = [&](std::size_t anchor, std::size_t at) {
+    std::size_t len = 0;
+    const std::size_t limit = std::min(n - at, anchor + 1);
+    while (len < limit && codes[at + len] == 3 - codes[anchor - len]) ++len;
+    return len;
+  };
+
+  std::size_t i = 0;
+  bool kmers_valid = false;
+  while (i < n) {
+    std::size_t best_len = 0, best_offset = 0;
+    bool best_is_rc = false;
+
+    if (i + k <= n) {
+      if (!kmers_valid) {
+        kmer_at(i);
+        kmers_valid = true;
+      }
+      // Forward candidate: most recent position with the same fingerprint.
+      const std::uint32_t fslot = table[fingerprint(fwd, params_.table_bits)];
+      if (fslot != 0) {
+        const std::size_t j = fslot - 1;
+        if (j < i) {
+          const std::size_t len = extend_forward(j, i);
+          if (len >= params_.min_match) {
+            best_len = len;
+            best_offset = i - j;
+            best_is_rc = false;
+          }
+        }
+      }
+      // Reverse-complement candidate: an earlier window whose forward k-mer
+      // equals the reverse complement of ours.
+      const std::uint32_t rslot = table[fingerprint(rc, params_.table_bits)];
+      if (rslot != 0) {
+        const std::size_t j = rslot - 1;
+        if (j + k <= i) {
+          const std::size_t anchor = j + k - 1;  // first source index used
+          const std::size_t len = extend_rc(anchor, i);
+          if (len >= params_.min_match && len > best_len) {
+            best_len = len;
+            best_offset = i - anchor;
+            best_is_rc = true;
+          }
+        }
+      }
+    }
+
+    const bool take = best_len >= params_.min_match &&
+                      match_cost_bits(best_len, best_offset) <
+                          1.9 * static_cast<double>(best_len);
+    if (take) {
+      models.is_match.encode(enc, 1);
+      models.is_rc.encode(enc, best_is_rc ? 1 : 0);
+      models.length.encode(enc, best_len - params_.min_match);
+      models.offset.encode(enc, best_offset - 1);
+      // The literal model's context covers literal bases only, on both the
+      // encode and the decode side, so matches need no model bookkeeping.
+      const std::size_t end = i + best_len;
+      // Index every k-th position inside the match (sparse insertion keeps
+      // compression fast while still catching later overlaps).
+      for (std::size_t p = i; p < end; ++p) {
+        if (p + k <= n && (p % 4 == 0)) {
+          std::uint64_t f = 0;
+          for (unsigned t = 0; t < k; ++t) f = (f << 2) | codes[p + t];
+          table[fingerprint(f, params_.table_bits)] =
+              static_cast<std::uint32_t>(p + 1);
+        }
+      }
+      i = end;
+      kmers_valid = false;
+    } else {
+      models.is_match.encode(enc, 0);
+      models.literal.encode(enc, codes[i]);
+      if (i + k <= n) {
+        table[fingerprint(fwd, params_.table_bits)] =
+            static_cast<std::uint32_t>(i + 1);
+        // Roll both k-mers one base forward if the next window exists.
+        if (i + k < n) {
+          const std::uint64_t c = codes[i + k];
+          fwd = ((fwd << 2) | c) & kmer_mask;
+          rc = (rc >> 2) | (std::uint64_t{3 - c} << rc_shift);
+        } else {
+          kmers_valid = false;
+        }
+      }
+      ++i;
+    }
+  }
+
+  const auto body = enc.finish();
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+std::vector<std::uint8_t> DnaXCompressor::decompress(
+    std::span<const std::uint8_t> input, util::TrackingResource* mem) const {
+  const auto header = read_header(input, AlgorithmId::kDnaX);
+  const auto n = static_cast<std::size_t>(header.original_size);
+  std::vector<std::uint8_t> text;
+  text.reserve(n);
+  if (n == 0) return text;
+
+  util::TrackingResource local_meter;
+  util::TrackingResource& meter = mem != nullptr ? *mem : local_meter;
+
+  DnaXModels models(params_.literal_order);
+  util::ExternalAllocation model_mem(meter, models.literal.memory_bytes());
+  std::vector<std::uint8_t> codes;
+  codes.reserve(n);
+  util::ExternalAllocation out_mem(meter, n);
+
+  bitio::RangeDecoder dec(input.subspan(header.header_bytes));
+  while (codes.size() < n) {
+    if (models.is_match.decode(dec) != 0) {
+      const bool is_rc = models.is_rc.decode(dec) != 0;
+      const std::size_t len = static_cast<std::size_t>(
+          models.length.decode(dec)) + params_.min_match;
+      const std::size_t offset =
+          static_cast<std::size_t>(models.offset.decode(dec)) + 1;
+      if (offset > codes.size() || len > n - codes.size()) {
+        throw std::runtime_error("dnax: corrupt match token");
+      }
+      if (is_rc) {
+        const std::size_t anchor = codes.size() - offset;
+        if (len > anchor + 1) {
+          throw std::runtime_error("dnax: RC match runs past stream start");
+        }
+        for (std::size_t t = 0; t < len; ++t) {
+          codes.push_back(static_cast<std::uint8_t>(3 - codes[anchor - t]));
+        }
+      } else {
+        const std::size_t src = codes.size() - offset;
+        for (std::size_t t = 0; t < len; ++t) {
+          codes.push_back(codes[src + t]);  // may overlap, like LZ77
+        }
+      }
+    } else {
+      codes.push_back(static_cast<std::uint8_t>(models.literal.decode(dec)));
+    }
+    if (dec.overflowed()) {
+      throw std::runtime_error("dnax: truncated stream");
+    }
+  }
+
+  for (const auto c : codes) {
+    text.push_back(static_cast<std::uint8_t>(sequence::code_to_base(c)));
+  }
+  return text;
+}
+
+}  // namespace dnacomp::compressors

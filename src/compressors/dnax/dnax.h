@@ -1,0 +1,43 @@
+// DNAX-style compressor (after Manzini & Rastero, "A simple and fast DNA
+// compressor"): single-pass greedy search for *exact* repeats and
+// *reverse-complement* repeats via a constant-size fingerprint table, with
+// an order-2 arithmetic coder for everything that does not match.
+//
+// Design targets mirror the paper's findings (§V): compression and
+// decompression are the fastest of the four, memory is low and flat (the
+// fingerprint table is fixed-size, unlike GenCompress's chained index), and
+// the ratio lands between GenCompress (better) and GzipX (far worse).
+#pragma once
+
+#include "compressors/compressor.h"
+
+namespace dnacomp::compressors {
+
+struct DnaXParams {
+  unsigned seed_bases = 16;      // fingerprint length k
+  unsigned min_match = 28;       // shortest repeat worth a token
+  unsigned table_bits = 18;      // fingerprint table entries = 2^table_bits
+  unsigned literal_order = 2;    // order of the fallback base model
+};
+
+class DnaXCompressor final : public Compressor {
+ public:
+  explicit DnaXCompressor(DnaXParams params = {});
+
+  AlgorithmId id() const noexcept override { return AlgorithmId::kDnaX; }
+  std::string_view family() const noexcept override { return "substitution"; }
+
+  std::vector<std::uint8_t> compress(
+      std::span<const std::uint8_t> input,
+      util::TrackingResource* mem = nullptr) const override;
+  std::vector<std::uint8_t> decompress(
+      std::span<const std::uint8_t> input,
+      util::TrackingResource* mem = nullptr) const override;
+
+  const DnaXParams& params() const noexcept { return params_; }
+
+ private:
+  DnaXParams params_;
+};
+
+}  // namespace dnacomp::compressors

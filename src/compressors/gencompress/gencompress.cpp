@@ -1,0 +1,293 @@
+#include "compressors/gencompress/gencompress.h"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+#include "bitio/models.h"
+#include "bitio/range_coder.h"
+#include "sequence/alphabet.h"
+#include "util/check.h"
+
+namespace dnacomp::compressors {
+namespace {
+
+inline std::size_t bucket_of(std::uint64_t kmer, unsigned table_bits) {
+  return static_cast<std::size_t>((kmer * 0x9E3779B97F4A7C15ULL) >>
+                                  (64 - table_bits));
+}
+
+struct GenModels {
+  explicit GenModels(unsigned literal_order)
+      : literal(literal_order),
+        offset(32),
+        length(24),
+        mismatch_count(16),
+        mismatch_gap(24),
+        replacement(2) {}
+
+  bitio::AdaptiveBitModel is_match;
+  bitio::OrderKBaseModel literal;
+  bitio::UIntModel offset;          // i - j, >= 1, coded as offset - 1
+  bitio::UIntModel length;          // len - min_match
+  bitio::UIntModel mismatch_count;
+  bitio::UIntModel mismatch_gap;    // gap to next mismatch (delta, >= 0)
+  bitio::BitTreeModel replacement;  // (actual - source - 1) mod 4, in {0,1,2}
+};
+
+struct Candidate {
+  std::size_t src = 0;       // source start position j
+  std::size_t len = 0;       // matched length
+  std::vector<std::uint32_t> mismatches;  // offsets within the match
+  double gain_bits = -1.0;
+};
+
+// Approximate bit cost of emitting this match, mirroring the models above.
+double token_cost_bits(std::size_t offset, std::size_t len,
+                       std::size_t n_mismatch,
+                       const std::vector<std::uint32_t>& gaps) {
+  double cost = 2.0;  // flag + rounding slack
+  cost += 2.0 * static_cast<double>(std::bit_width(offset));
+  cost += 2.0 * static_cast<double>(std::bit_width(len));
+  cost += 2.0 * static_cast<double>(std::bit_width(n_mismatch + 1));
+  for (const auto g : gaps) {
+    cost += 2.0 * static_cast<double>(std::bit_width(std::size_t{g} + 1));
+    cost += 2.0;  // replacement base
+  }
+  return cost;
+}
+
+}  // namespace
+
+GenCompressCompressor::GenCompressCompressor(GenCompressParams params)
+    : params_(params) {
+  DC_CHECK(params_.seed_bases >= 6 && params_.seed_bases <= 31);
+  DC_CHECK(params_.min_match >= params_.seed_bases);
+  DC_CHECK(params_.table_bits >= 10 && params_.table_bits <= 26);
+  DC_CHECK(params_.max_candidates >= 1);
+  DC_CHECK(params_.max_mismatch_rate >= 0.0 &&
+           params_.max_mismatch_rate < 0.5);
+}
+
+std::vector<std::uint8_t> GenCompressCompressor::compress(
+    std::span<const std::uint8_t> input, util::TrackingResource* mem) const {
+  const auto codes = require_dna_codes(input);
+  const std::size_t n = codes.size();
+
+  std::vector<std::uint8_t> out;
+  write_header(out, AlgorithmId::kGenCompress, n);
+  if (n == 0) return out;
+
+  util::TrackingResource local_meter;
+  util::TrackingResource& meter = mem != nullptr ? *mem : local_meter;
+
+  const unsigned k = params_.seed_bases;
+  const std::uint64_t kmer_mask = (std::uint64_t{1} << (2 * k)) - 1;
+
+  // Chained index over *all* previous seed positions: head + prev. This is
+  // the structure whose size scales with the file and makes GenCompress the
+  // RAM-hungriest algorithm in the comparison.
+  std::vector<std::uint32_t> head(std::size_t{1} << params_.table_bits, 0);
+  std::vector<std::uint32_t> prev(n, 0);
+  util::ExternalAllocation index_mem(
+      meter, (head.size() + prev.size()) * sizeof(std::uint32_t));
+
+  GenModels models(params_.literal_order);
+  util::ExternalAllocation model_mem(meter, models.literal.memory_bytes());
+  bitio::RangeEncoder enc;
+
+  auto seed_at = [&](std::size_t p) {
+    std::uint64_t v = 0;
+    for (unsigned t = 0; t < k; ++t) v = ((v << 2) | codes[p + t]) & kmer_mask;
+    return v;
+  };
+  auto insert_seed = [&](std::size_t p) {
+    if (p + k > n) return;
+    const std::size_t b = bucket_of(seed_at(p), params_.table_bits);
+    prev[p] = head[b];
+    head[b] = static_cast<std::uint32_t>(p + 1);
+  };
+
+  // Extend an approximate (substitutions-only) match of codes[j..] against
+  // codes[i..]; returns matched length and mismatch offsets, already trimmed
+  // so the match ends on an exact base.
+  auto extend = [&](std::size_t j, std::size_t i, Candidate& c) {
+    const std::size_t limit =
+        std::min<std::size_t>(params_.max_match, n - i);
+    c.src = j;
+    c.mismatches.clear();
+    std::size_t t = 0;
+    unsigned run = 0;
+    while (t < limit) {
+      if (codes[j + t] == codes[i + t]) {
+        run = 0;
+      } else {
+        ++run;
+        if (run >= params_.max_mismatch_run) break;
+        // Condition C: mismatch budget proportional to current length.
+        const double budget =
+            params_.max_mismatch_rate * static_cast<double>(t + 1) + 2.0;
+        if (static_cast<double>(c.mismatches.size()) + 1.0 > budget) break;
+        c.mismatches.push_back(static_cast<std::uint32_t>(t));
+      }
+      ++t;
+    }
+    // Trim trailing mismatches so the token never ends on a substitution.
+    while (!c.mismatches.empty() && c.mismatches.back() >= t - run) {
+      c.mismatches.pop_back();
+    }
+    t -= run;
+    while (!c.mismatches.empty() && c.mismatches.back() == t - 1) {
+      c.mismatches.pop_back();
+      --t;
+    }
+    c.len = t;
+  };
+
+  std::size_t i = 0;
+  Candidate cand, best;
+  while (i < n) {
+    best.len = 0;
+    best.gain_bits = -1.0;
+
+    if (i + k <= n) {
+      const std::size_t b = bucket_of(seed_at(i), params_.table_bits);
+      std::uint32_t slot = head[b];
+      unsigned examined = 0;
+      while (slot != 0 && examined < params_.max_candidates) {
+        const std::size_t j = slot - 1;
+        slot = prev[j];
+        ++examined;
+        if (j >= i) continue;
+        // Verify the seed (hash buckets collide).
+        bool seed_ok = true;
+        for (unsigned t = 0; t < k; ++t) {
+          if (codes[j + t] != codes[i + t]) {
+            seed_ok = false;
+            break;
+          }
+        }
+        if (!seed_ok) continue;
+        extend(j, i, cand);
+        if (cand.len < params_.min_match) continue;
+        std::vector<std::uint32_t> gaps;
+        gaps.reserve(cand.mismatches.size());
+        std::uint32_t prev_pos = 0;
+        for (const auto mpos : cand.mismatches) {
+          gaps.push_back(mpos - prev_pos);
+          prev_pos = mpos + 1;
+        }
+        const double cost =
+            token_cost_bits(i - j, cand.len, cand.mismatches.size(), gaps);
+        const double gain = 1.9 * static_cast<double>(cand.len) - cost;
+        if (gain > best.gain_bits) {
+          best = cand;
+          best.gain_bits = gain;
+        }
+      }
+    }
+
+    if (best.gain_bits >= params_.min_gain_bits) {
+      models.is_match.encode(enc, 1);
+      models.offset.encode(enc, i - best.src - 1);
+      models.length.encode(enc, best.len - params_.min_match);
+      models.mismatch_count.encode(enc, best.mismatches.size());
+      std::uint32_t prev_pos = 0;
+      for (const auto mpos : best.mismatches) {
+        models.mismatch_gap.encode(enc, mpos - prev_pos);
+        prev_pos = mpos + 1;
+        const unsigned src_base = codes[best.src + mpos];
+        const unsigned actual = codes[i + mpos];
+        models.replacement.encode(enc, (actual - src_base - 1) & 3u);
+      }
+      // Index inside the covered region so later repeats can reference it.
+      const std::size_t end = i + best.len;
+      for (std::size_t p = i; p < end; p += 2) insert_seed(p);
+      i = end;
+    } else {
+      models.is_match.encode(enc, 0);
+      models.literal.encode(enc, codes[i]);
+      insert_seed(i);
+      ++i;
+    }
+  }
+
+  const auto body = enc.finish();
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+std::vector<std::uint8_t> GenCompressCompressor::decompress(
+    std::span<const std::uint8_t> input, util::TrackingResource* mem) const {
+  const auto header = read_header(input, AlgorithmId::kGenCompress);
+  const auto n = static_cast<std::size_t>(header.original_size);
+  std::vector<std::uint8_t> text;
+  text.reserve(n);
+  if (n == 0) return text;
+
+  util::TrackingResource local_meter;
+  util::TrackingResource& meter = mem != nullptr ? *mem : local_meter;
+
+  GenModels models(params_.literal_order);
+  util::ExternalAllocation model_mem(meter, models.literal.memory_bytes());
+  std::vector<std::uint8_t> codes;
+  codes.reserve(n);
+  util::ExternalAllocation out_mem(meter, n);
+
+  bitio::RangeDecoder dec(input.subspan(header.header_bytes));
+  while (codes.size() < n) {
+    if (models.is_match.decode(dec) != 0) {
+      const std::size_t offset =
+          static_cast<std::size_t>(models.offset.decode(dec)) + 1;
+      const std::size_t len = static_cast<std::size_t>(
+          models.length.decode(dec)) + params_.min_match;
+      const auto n_mismatch =
+          static_cast<std::size_t>(models.mismatch_count.decode(dec));
+      if (offset > codes.size() || len > n - codes.size() ||
+          n_mismatch > len) {
+        throw std::runtime_error("gencompress: corrupt match token");
+      }
+      // Decode the edit list up front: substitutions must be applied inline
+      // during the sequential copy, or a self-overlapping match would read
+      // pre-substitution bytes and diverge from the encoder.
+      std::vector<std::pair<std::size_t, unsigned>> edits;
+      edits.reserve(n_mismatch);
+      std::size_t cursor = 0;
+      for (std::size_t m = 0; m < n_mismatch; ++m) {
+        const auto gap =
+            static_cast<std::size_t>(models.mismatch_gap.decode(dec));
+        const std::size_t mpos = cursor + gap;
+        cursor = mpos + 1;
+        if (mpos >= len) {
+          throw std::runtime_error("gencompress: mismatch offset out of range");
+        }
+        const auto delta =
+            static_cast<unsigned>(models.replacement.decode(dec));
+        edits.emplace_back(mpos, delta);
+      }
+      const std::size_t src = codes.size() - offset;
+      std::size_t next_edit = 0;
+      for (std::size_t t = 0; t < len; ++t) {
+        std::uint8_t base = codes[src + t];  // overlap-safe sequential copy
+        if (next_edit < edits.size() && edits[next_edit].first == t) {
+          base = static_cast<std::uint8_t>(
+              (base + edits[next_edit].second + 1) & 3u);
+          ++next_edit;
+        }
+        codes.push_back(base);
+      }
+    } else {
+      codes.push_back(static_cast<std::uint8_t>(models.literal.decode(dec)));
+    }
+    if (dec.overflowed()) {
+      throw std::runtime_error("gencompress: truncated stream");
+    }
+  }
+
+  for (const auto c : codes) {
+    text.push_back(static_cast<std::uint8_t>(sequence::code_to_base(c)));
+  }
+  return text;
+}
+
+}  // namespace dnacomp::compressors

@@ -1,0 +1,59 @@
+// GenCompress-style compressor (after Chen, Kwong & Li). Searches for the
+// optimal prefix of the unprocessed suffix that approximately matches an
+// already-processed substring, encodes it as (offset, length, edit
+// operations) and falls back to order-2 arithmetic coding otherwise.
+//
+// This implementation uses Hamming-distance edit operations (substitutions
+// only) — GenCompress-1 semantics per the paper's Table 1 — with the
+// "condition C" style threshold limiting the mismatch rate during extension.
+//
+// Characteristics engineered to match the paper's measurements: the chained
+// candidate index grows with the input (highest RAM of the four), the
+// exhaustive candidate scan makes compression the slowest, and tolerating
+// point mutations yields the best compression ratio. Decompression is cheap
+// (no search), again as the paper observes.
+#pragma once
+
+#include "compressors/compressor.h"
+
+namespace dnacomp::compressors {
+
+struct GenCompressParams {
+  unsigned seed_bases = 7;        // exact seed priming each candidate
+  unsigned table_bits = 19;        // candidate hash-table entries
+  unsigned max_candidates = 4096;  // chain positions examined per step; the
+                                   // near-unbounded scan is what makes the
+                                   // real GenCompress superlinear in practice
+  unsigned min_match = 14;         // shortest approximate repeat kept
+  unsigned max_match = 1 << 14;    // extension cap
+  double max_mismatch_rate = 0.15; // condition-C threshold
+  unsigned max_mismatch_run = 4;   // consecutive mismatches ending extension
+  double min_gain_bits = 12.0;     // accept only if this many bits are saved
+  unsigned literal_order = 2;      // fallback arithmetic-coder order
+};
+
+class GenCompressCompressor final : public Compressor {
+ public:
+  explicit GenCompressCompressor(GenCompressParams params = {});
+
+  AlgorithmId id() const noexcept override {
+    return AlgorithmId::kGenCompress;
+  }
+  std::string_view family() const noexcept override {
+    return "substitution-approximate";
+  }
+
+  std::vector<std::uint8_t> compress(
+      std::span<const std::uint8_t> input,
+      util::TrackingResource* mem = nullptr) const override;
+  std::vector<std::uint8_t> decompress(
+      std::span<const std::uint8_t> input,
+      util::TrackingResource* mem = nullptr) const override;
+
+  const GenCompressParams& params() const noexcept { return params_; }
+
+ private:
+  GenCompressParams params_;
+};
+
+}  // namespace dnacomp::compressors

@@ -1,0 +1,149 @@
+#include "compressors/gsqz/gsqz.h"
+
+#include <stdexcept>
+
+#include "bitio/bit_stream.h"
+#include "bitio/huffman.h"
+#include "compressors/compressor.h"
+#include "sequence/alphabet.h"
+#include "util/check.h"
+
+namespace dnacomp::compressors {
+namespace {
+
+constexpr std::uint8_t kGsqzMagic = 10;  // after the AlgorithmId range
+constexpr unsigned kQualityLevels = 94;  // printable '!'(33) .. '~'(126)
+constexpr unsigned kBaseSymbols = 5;     // A C G T N
+constexpr unsigned kJointAlphabet = kQualityLevels * kBaseSymbols;
+
+unsigned base_index(char c) {
+  const char u = (c >= 'a' && c <= 'z') ? static_cast<char>(c - 32) : c;
+  if (u == 'N') return 4;
+  const auto code = sequence::base_to_code(u);
+  if (code == 0xFF) {
+    throw std::invalid_argument(std::string("gsqz: unsupported base '") + c +
+                                "'");
+  }
+  return code;
+}
+
+char base_char(unsigned idx) {
+  return idx == 4 ? 'N' : sequence::code_to_base(static_cast<std::uint8_t>(idx));
+}
+
+unsigned joint_symbol(char base, char quality) {
+  if (quality < '!' || quality > '~') {
+    throw std::invalid_argument("gsqz: quality character out of Phred+33 range");
+  }
+  return static_cast<unsigned>(quality - '!') * kBaseSymbols +
+         base_index(base);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> GsqzCompressor::compress(
+    std::span<const sequence::FastqRecord> records) const {
+  // Pass 1: joint histogram.
+  std::vector<std::uint64_t> freqs(kJointAlphabet, 0);
+  for (const auto& rec : records) {
+    DC_CHECK(rec.sequence.size() == rec.quality.size());
+    for (std::size_t i = 0; i < rec.sequence.size(); ++i) {
+      ++freqs[joint_symbol(rec.sequence[i], rec.quality[i])];
+    }
+  }
+  const auto lengths = bitio::huffman_code_lengths(freqs, 15);
+  const bitio::HuffmanEncoder enc(lengths);
+
+  std::vector<std::uint8_t> out;
+  out.push_back('D');
+  out.push_back('C');
+  out.push_back(kGsqzMagic);
+  put_varint(out, records.size());
+  // Code-length table: 4 bits per joint symbol.
+  bitio::BitWriter table;
+  for (const auto l : lengths) table.write_bits(l, 4);
+  const auto table_bytes = table.finish();
+  out.insert(out.end(), table_bytes.begin(), table_bytes.end());
+
+  // Record metadata (ids + lengths) verbatim, then the joint payload.
+  for (const auto& rec : records) {
+    put_varint(out, rec.id.size());
+    out.insert(out.end(), rec.id.begin(), rec.id.end());
+    put_varint(out, rec.sequence.size());
+  }
+  bitio::BitWriter payload;
+  for (const auto& rec : records) {
+    for (std::size_t i = 0; i < rec.sequence.size(); ++i) {
+      enc.encode(payload, joint_symbol(rec.sequence[i], rec.quality[i]));
+    }
+  }
+  const auto payload_bytes = payload.finish();
+  put_varint(out, payload_bytes.size());
+  out.insert(out.end(), payload_bytes.begin(), payload_bytes.end());
+  return out;
+}
+
+std::vector<sequence::FastqRecord> GsqzCompressor::decompress(
+    std::span<const std::uint8_t> data) const {
+  if (data.size() < 4 || data[0] != 'D' || data[1] != 'C' ||
+      data[2] != kGsqzMagic) {
+    throw std::runtime_error("gsqz: bad magic");
+  }
+  std::size_t pos = 3;
+  const auto n_records = static_cast<std::size_t>(get_varint(data, &pos));
+
+  const std::size_t table_bytes = (kJointAlphabet * 4 + 7) / 8;
+  if (pos + table_bytes > data.size()) {
+    throw std::runtime_error("gsqz: truncated code-length table");
+  }
+  std::vector<std::uint8_t> lengths(kJointAlphabet);
+  {
+    bitio::BitReader br(data.subspan(pos, table_bytes));
+    for (auto& l : lengths) l = static_cast<std::uint8_t>(br.read_bits(4));
+  }
+  pos += table_bytes;
+  const bitio::HuffmanDecoder dec(lengths);
+
+  std::vector<sequence::FastqRecord> records(n_records);
+  for (auto& rec : records) {
+    const auto id_len = static_cast<std::size_t>(get_varint(data, &pos));
+    if (pos + id_len > data.size()) {
+      throw std::runtime_error("gsqz: truncated record id");
+    }
+    rec.id.assign(reinterpret_cast<const char*>(data.data() + pos), id_len);
+    pos += id_len;
+    const auto seq_len = static_cast<std::size_t>(get_varint(data, &pos));
+    rec.sequence.resize(seq_len);
+    rec.quality.resize(seq_len);
+  }
+
+  const auto payload_len = static_cast<std::size_t>(get_varint(data, &pos));
+  if (pos + payload_len > data.size()) {
+    throw std::runtime_error("gsqz: truncated payload");
+  }
+  bitio::BitReader br(data.subspan(pos, payload_len));
+  for (auto& rec : records) {
+    for (std::size_t i = 0; i < rec.sequence.size(); ++i) {
+      const auto sym = dec.decode(br);
+      if (sym >= kJointAlphabet) {
+        throw std::runtime_error("gsqz: corrupt payload");
+      }
+      rec.sequence[i] = base_char(sym % kBaseSymbols);
+      rec.quality[i] = static_cast<char>('!' + sym / kBaseSymbols);
+    }
+  }
+  return records;
+}
+
+std::vector<std::uint8_t> GsqzCompressor::compress_text(
+    std::string_view fastq_text) const {
+  const auto records = sequence::parse_fastq(fastq_text);
+  return compress(records);
+}
+
+std::string GsqzCompressor::decompress_text(
+    std::span<const std::uint8_t> data) const {
+  return sequence::write_fastq(decompress(data));
+}
+
+}  // namespace dnacomp::compressors

@@ -1,0 +1,36 @@
+// G-SQZ-style FASTQ compressor (Tembe, Lowey & Suh — paper §III-B: "uses
+// Huffman-coding to compress data without altering the sequence").
+//
+// Each (base, quality) pair is one symbol of a joint alphabet, coded with a
+// single canonical Huffman table built over the whole file — the joint
+// coding is G-SQZ's core idea, since base and quality are correlated (N
+// bases carry the lowest quality, high-quality calls dominate). Read ids
+// are stored verbatim; order is preserved (no re-sorting), so the stream
+// decodes to a byte-identical FASTQ.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sequence/fastq.h"
+
+namespace dnacomp::compressors {
+
+class GsqzCompressor {
+ public:
+  // Compress parsed records. Qualities must be printable Phred+33
+  // ('!'..'~'); bases may be ACGT or N (either case folds to upper).
+  std::vector<std::uint8_t> compress(
+      std::span<const sequence::FastqRecord> records) const;
+
+  std::vector<sequence::FastqRecord> decompress(
+      std::span<const std::uint8_t> data) const;
+
+  // Convenience: whole-file text round trip.
+  std::vector<std::uint8_t> compress_text(std::string_view fastq_text) const;
+  std::string decompress_text(std::span<const std::uint8_t> data) const;
+};
+
+}  // namespace dnacomp::compressors

@@ -1,0 +1,217 @@
+#include "compressors/gzipx/gzipx.h"
+
+#include <array>
+#include <stdexcept>
+
+#include "bitio/bit_stream.h"
+#include "bitio/huffman.h"
+#include "util/check.h"
+
+namespace dnacomp::compressors {
+namespace {
+
+constexpr unsigned kEndOfBlock = 256;
+constexpr unsigned kNumLitLen = 286;  // 0..255 literals, 256 EOB, 257..285
+constexpr unsigned kNumDist = 30;
+constexpr unsigned kMaxCodeLen = 15;
+
+// RFC 1951 length classes.
+constexpr std::array<unsigned, 29> kLenBase = {
+    3,  4,  5,  6,  7,  8,  9,  10, 11,  13,  15,  17,  19,  23, 27,
+    31, 35, 43, 51, 59, 67, 83, 99, 115, 131, 163, 195, 227, 258};
+constexpr std::array<unsigned, 29> kLenExtra = {0, 0, 0, 0, 0, 0, 0, 0, 1, 1,
+                                                1, 1, 2, 2, 2, 2, 3, 3, 3, 3,
+                                                4, 4, 4, 4, 5, 5, 5, 5, 0};
+
+// RFC 1951 distance classes.
+constexpr std::array<unsigned, 30> kDistBase = {
+    1,    2,    3,    4,    5,    7,     9,     13,    17,    25,
+    33,   49,   65,   97,   129,  193,   257,   385,   513,   769,
+    1025, 1537, 2049, 3073, 4097, 6145,  8193,  12289, 16385, 24577};
+constexpr std::array<unsigned, 30> kDistExtra = {
+    0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4,  4,  5,  5,  6,
+    6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12, 13, 13};
+
+void write_lengths_table(bitio::BitWriter& bw,
+                         std::span<const std::uint8_t> lengths) {
+  // 4 bits per code length (0..15). Simpler than DEFLATE's code-length
+  // Huffman; costs ~160 bytes per 64 KB block.
+  for (auto l : lengths) bw.write_bits(l, 4);
+}
+
+std::vector<std::uint8_t> read_lengths_table(bitio::BitReader& br,
+                                             std::size_t n) {
+  std::vector<std::uint8_t> lengths(n);
+  for (auto& l : lengths) {
+    l = static_cast<std::uint8_t>(br.read_bits(4));
+  }
+  return lengths;
+}
+
+}  // namespace
+
+unsigned length_to_symbol(unsigned length) {
+  DC_CHECK(length >= 3 && length <= 258);
+  // Linear scan is fine: 29 classes, called per token.
+  for (unsigned s = 28;; --s) {
+    if (kLenBase[s] <= length) return 257 + s;
+    DC_CHECK(s != 0);
+  }
+}
+
+unsigned length_symbol_base(unsigned symbol) {
+  DC_CHECK(symbol >= 257 && symbol <= 285);
+  return kLenBase[symbol - 257];
+}
+
+unsigned length_symbol_extra_bits(unsigned symbol) {
+  DC_CHECK(symbol >= 257 && symbol <= 285);
+  return kLenExtra[symbol - 257];
+}
+
+unsigned distance_to_symbol(unsigned distance) {
+  DC_CHECK(distance >= 1 && distance <= 32768);
+  for (unsigned s = 29;; --s) {
+    if (kDistBase[s] <= distance) return s;
+    DC_CHECK(s != 0);
+  }
+}
+
+unsigned distance_symbol_base(unsigned symbol) {
+  DC_CHECK(symbol < 30);
+  return kDistBase[symbol];
+}
+
+unsigned distance_symbol_extra_bits(unsigned symbol) {
+  DC_CHECK(symbol < 30);
+  return kDistExtra[symbol];
+}
+
+GzipXCompressor::GzipXCompressor(GzipXParams params)
+    : params_(params), matcher_(params.lz) {}
+
+std::vector<std::uint8_t> GzipXCompressor::compress(
+    std::span<const std::uint8_t> input, util::TrackingResource* mem) const {
+  std::vector<std::uint8_t> out;
+  write_header(out, AlgorithmId::kGzipX, input.size());
+  if (input.empty()) return out;
+
+  const auto tokens = matcher_.tokenize(input, mem);
+
+  util::TrackingResource local_meter;
+  util::TrackingResource& meter = mem != nullptr ? *mem : local_meter;
+  util::ExternalAllocation token_mem(meter, tokens.size() * sizeof(Lz77Token));
+
+  bitio::BitWriter bw;
+  std::size_t t = 0;
+  while (t < tokens.size()) {
+    // Gather one block's worth of tokens (measured in decoded bytes).
+    std::size_t block_end = t;
+    std::size_t decoded = 0;
+    while (block_end < tokens.size() && decoded < params_.block_input_bytes) {
+      decoded += tokens[block_end].is_match ? tokens[block_end].length : 1;
+      ++block_end;
+    }
+
+    // Histogram the block.
+    std::vector<std::uint64_t> lit_freq(kNumLitLen, 0);
+    std::vector<std::uint64_t> dist_freq(kNumDist, 0);
+    for (std::size_t i = t; i < block_end; ++i) {
+      const auto& tok = tokens[i];
+      if (tok.is_match) {
+        ++lit_freq[length_to_symbol(tok.length)];
+        ++dist_freq[distance_to_symbol(tok.distance)];
+      } else {
+        ++lit_freq[tok.literal];
+      }
+    }
+    ++lit_freq[kEndOfBlock];
+
+    const auto lit_lens = bitio::huffman_code_lengths(lit_freq, kMaxCodeLen);
+    const auto dist_lens = bitio::huffman_code_lengths(dist_freq, kMaxCodeLen);
+    const bitio::HuffmanEncoder lit_enc(lit_lens);
+    const bitio::HuffmanEncoder dist_enc(dist_lens);
+
+    bw.write_bit(block_end == tokens.size() ? 1 : 0);  // BFINAL
+    write_lengths_table(bw, lit_lens);
+    write_lengths_table(bw, dist_lens);
+
+    for (std::size_t i = t; i < block_end; ++i) {
+      const auto& tok = tokens[i];
+      if (!tok.is_match) {
+        lit_enc.encode(bw, tok.literal);
+        continue;
+      }
+      const unsigned ls = length_to_symbol(tok.length);
+      lit_enc.encode(bw, ls);
+      const unsigned le = length_symbol_extra_bits(ls);
+      if (le > 0) bw.write_bits(tok.length - length_symbol_base(ls), le);
+      const unsigned ds = distance_to_symbol(tok.distance);
+      dist_enc.encode(bw, ds);
+      const unsigned de = distance_symbol_extra_bits(ds);
+      if (de > 0) bw.write_bits(tok.distance - distance_symbol_base(ds), de);
+    }
+    lit_enc.encode(bw, kEndOfBlock);
+    t = block_end;
+  }
+
+  const auto body = bw.finish();
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+std::vector<std::uint8_t> GzipXCompressor::decompress(
+    std::span<const std::uint8_t> input, util::TrackingResource* mem) const {
+  const auto header = read_header(input, AlgorithmId::kGzipX);
+  std::vector<std::uint8_t> out;
+  out.reserve(header.original_size);
+  if (header.original_size == 0) return out;
+
+  util::TrackingResource local_meter;
+  util::TrackingResource& meter = mem != nullptr ? *mem : local_meter;
+  util::ExternalAllocation out_mem(meter, header.original_size);
+
+  bitio::BitReader br(input.subspan(header.header_bytes));
+  bool final_block = false;
+  while (!final_block) {
+    final_block = br.read_bit() != 0;
+    const auto lit_lens = read_lengths_table(br, kNumLitLen);
+    const auto dist_lens = read_lengths_table(br, kNumDist);
+    if (br.overflowed()) throw std::runtime_error("gzipx: truncated tables");
+    const bitio::HuffmanDecoder lit_dec(lit_lens);
+    const bitio::HuffmanDecoder dist_dec(dist_lens);
+
+    for (;;) {
+      const std::uint32_t sym = lit_dec.decode(br);
+      if (br.overflowed() || sym >= kNumLitLen) {
+        throw std::runtime_error("gzipx: corrupt literal/length stream");
+      }
+      if (sym == kEndOfBlock) break;
+      if (sym < 256) {
+        out.push_back(static_cast<std::uint8_t>(sym));
+        continue;
+      }
+      unsigned length = length_symbol_base(sym);
+      const unsigned le = length_symbol_extra_bits(sym);
+      if (le > 0) length += static_cast<unsigned>(br.read_bits(le));
+      const std::uint32_t dsym = dist_dec.decode(br);
+      if (br.overflowed() || dsym >= kNumDist) {
+        throw std::runtime_error("gzipx: corrupt distance stream");
+      }
+      unsigned distance = distance_symbol_base(dsym);
+      const unsigned de = distance_symbol_extra_bits(dsym);
+      if (de > 0) distance += static_cast<unsigned>(br.read_bits(de));
+      if (distance > out.size()) {
+        throw std::runtime_error("gzipx: distance before stream start");
+      }
+      const std::size_t from = out.size() - distance;
+      for (unsigned i = 0; i < length; ++i) out.push_back(out[from + i]);
+    }
+  }
+  if (out.size() != header.original_size) {
+    throw std::runtime_error("gzipx: size mismatch after decode");
+  }
+  return out;
+}
+
+}  // namespace dnacomp::compressors

@@ -1,0 +1,48 @@
+// GzipX: the general-purpose baseline — LZ77 (32 KB window) + per-block
+// canonical Huffman coding, structurally equivalent to DEFLATE (RFC 1951)
+// with a simplified table serialization. Stands in for "the Gzip algorithm
+// which is used in the NCBI repository" in the paper's comparison.
+#pragma once
+
+#include "compressors/compressor.h"
+#include "compressors/gzipx/lz77.h"
+
+namespace dnacomp::compressors {
+
+struct GzipXParams {
+  Lz77Params lz;
+  std::size_t block_input_bytes = 1 << 16;  // input bytes per Huffman block
+};
+
+class GzipXCompressor final : public Compressor {
+ public:
+  explicit GzipXCompressor(GzipXParams params = {});
+
+  AlgorithmId id() const noexcept override { return AlgorithmId::kGzipX; }
+  std::string_view family() const noexcept override {
+    return "general-purpose";
+  }
+
+  std::vector<std::uint8_t> compress(
+      std::span<const std::uint8_t> input,
+      util::TrackingResource* mem = nullptr) const override;
+  std::vector<std::uint8_t> decompress(
+      std::span<const std::uint8_t> input,
+      util::TrackingResource* mem = nullptr) const override;
+
+ private:
+  GzipXParams params_;
+  Lz77Matcher matcher_;
+};
+
+// DEFLATE symbol-class tables, exposed for tests.
+// Length classes: lengths 3..258 map to symbols 257..285.
+unsigned length_to_symbol(unsigned length);           // 257..285
+unsigned length_symbol_base(unsigned symbol);          // base length
+unsigned length_symbol_extra_bits(unsigned symbol);
+// Distance classes: distances 1..32768 map to symbols 0..29.
+unsigned distance_to_symbol(unsigned distance);
+unsigned distance_symbol_base(unsigned symbol);
+unsigned distance_symbol_extra_bits(unsigned symbol);
+
+}  // namespace dnacomp::compressors

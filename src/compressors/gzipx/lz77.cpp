@@ -1,0 +1,136 @@
+#include "compressors/gzipx/lz77.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace dnacomp::compressors {
+namespace {
+
+inline std::uint32_t hash3(const std::uint8_t* p, unsigned table_bits) {
+  const std::uint32_t v = (std::uint32_t{p[0]} << 16) |
+                          (std::uint32_t{p[1]} << 8) | p[2];
+  return (v * 2654435761u) >> (32 - table_bits);
+}
+
+}  // namespace
+
+Lz77Matcher::Lz77Matcher(Lz77Params params) : params_(params) {
+  DC_CHECK(params_.window_bits >= 8 && params_.window_bits <= 16);
+  DC_CHECK(params_.min_match >= 3);
+  DC_CHECK(params_.max_match >= params_.min_match && params_.max_match <= 258);
+}
+
+std::vector<Lz77Token> Lz77Matcher::tokenize(
+    std::span<const std::uint8_t> input, util::TrackingResource* mem) const {
+  const std::size_t n = input.size();
+  std::vector<Lz77Token> tokens;
+  tokens.reserve(n / 4 + 16);
+
+  const std::size_t window = std::size_t{1} << params_.window_bits;
+  const unsigned table_bits = params_.window_bits;
+  const std::size_t table_size = std::size_t{1} << table_bits;
+
+  // head[h] = most recent position with hash h; prev[pos & mask] = previous
+  // position in the chain (zlib layout). -1 terminates chains.
+  std::vector<std::int64_t> head(table_size, -1);
+  std::vector<std::int64_t> prev(window, -1);
+  util::TrackingResource local_meter;
+  util::ExternalAllocation mem_guard(
+      mem != nullptr ? *mem : local_meter,
+      (table_size + window) * sizeof(std::int64_t));
+
+  const auto mask = static_cast<std::int64_t>(window - 1);
+
+  auto match_length = [&](std::size_t from, std::size_t at,
+                          std::size_t limit) {
+    std::size_t len = 0;
+    while (len < limit && input[from + len] == input[at + len]) ++len;
+    return len;
+  };
+
+  auto find_best = [&](std::size_t pos) -> std::pair<std::size_t, std::size_t> {
+    // Returns {length, distance}; length 0 means no usable match.
+    if (pos + params_.min_match > n) return {0, 0};
+    const std::size_t limit =
+        std::min<std::size_t>(params_.max_match, n - pos);
+    std::size_t best_len = 0, best_dist = 0;
+    std::int64_t cand = head[hash3(&input[pos], table_bits)];
+    unsigned chain = params_.max_chain;
+    while (cand >= 0 && chain-- > 0) {
+      const auto cpos = static_cast<std::size_t>(cand);
+      if (pos - cpos > window) break;  // outside the window; chain is stale
+      const std::size_t len = match_length(cpos, pos, limit);
+      if (len > best_len) {
+        best_len = len;
+        best_dist = pos - cpos;
+        if (len >= limit) break;
+      }
+      const std::int64_t nxt = prev[cand & mask];
+      if (nxt >= cand) break;  // ring slot overwritten by a newer position
+      cand = nxt;
+    }
+    if (best_len < params_.min_match) return {0, 0};
+    return {best_len, best_dist};
+  };
+
+  auto insert = [&](std::size_t pos) {
+    if (pos + 3 > n) return;
+    const std::uint32_t h = hash3(&input[pos], table_bits);
+    prev[static_cast<std::int64_t>(pos) & mask] = head[h];
+    head[h] = static_cast<std::int64_t>(pos);
+  };
+
+  std::size_t pos = 0;
+  while (pos < n) {
+    auto [len, dist] = find_best(pos);
+    if (len == 0) {
+      tokens.push_back({false, input[pos], 0, 0});
+      insert(pos);
+      ++pos;
+      continue;
+    }
+    // One-step lazy evaluation, as in gzip: a longer match starting at the
+    // next byte is worth deferring for.
+    insert(pos);
+    std::size_t match_start = pos;
+    if (len < params_.lazy_threshold && pos + 1 < n) {
+      auto [len2, dist2] = find_best(pos + 1);
+      if (len2 > len) {
+        tokens.push_back({false, input[pos], 0, 0});
+        match_start = pos + 1;
+        len = len2;
+        dist = dist2;
+      }
+    }
+    tokens.push_back({true, 0, static_cast<std::uint16_t>(len),
+                      static_cast<std::uint16_t>(dist)});
+    // Insert hash entries for the matched region. `pos` is already in the
+    // table; in the lazy case that covers match_start - 1 and the loop below
+    // starts at match_start itself.
+    const std::size_t end = match_start + len;
+    for (std::size_t p = pos + 1; p < end && p + 3 <= n; ++p) insert(p);
+    pos = end;
+  }
+  return tokens;
+}
+
+std::vector<std::uint8_t> lz77_reconstruct(
+    std::span<const Lz77Token> tokens) {
+  std::vector<std::uint8_t> out;
+  for (const auto& t : tokens) {
+    if (!t.is_match) {
+      out.push_back(t.literal);
+      continue;
+    }
+    DC_CHECK_MSG(t.distance >= 1 && t.distance <= out.size(),
+                 "LZ77 token references data before the stream start");
+    std::size_t from = out.size() - t.distance;
+    for (unsigned i = 0; i < t.length; ++i) {
+      out.push_back(out[from + i]);  // overlapping copies are well-defined
+    }
+  }
+  return out;
+}
+
+}  // namespace dnacomp::compressors

@@ -1,0 +1,49 @@
+// LZ77 matcher with zlib-style hash chains and one-step lazy matching.
+// This is the dictionary stage of GzipX; the paper's point about gzip on DNA
+// (§III: "gzip which utilizes huffman + LZ ... failed to give good
+// compression ratio") emerges from exactly this design: a 32 KB window and a
+// 3-byte minimum match see few of the long-range repeats DNA actually has.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/memory_tracker.h"
+
+namespace dnacomp::compressors {
+
+struct Lz77Token {
+  // is_match == false: `literal` is one byte.
+  // is_match == true : copy `length` bytes from `distance` back.
+  bool is_match = false;
+  std::uint8_t literal = 0;
+  std::uint16_t length = 0;    // 3..258
+  std::uint16_t distance = 0;  // 1..32768
+};
+
+struct Lz77Params {
+  unsigned window_bits = 15;   // 32 KB window, as in gzip
+  unsigned min_match = 3;
+  unsigned max_match = 258;
+  unsigned max_chain = 128;    // candidates examined per position
+  unsigned lazy_threshold = 32;  // try i+1 if match at i is shorter than this
+};
+
+class Lz77Matcher {
+ public:
+  explicit Lz77Matcher(Lz77Params params = {});
+
+  std::vector<Lz77Token> tokenize(std::span<const std::uint8_t> input,
+                                  util::TrackingResource* mem = nullptr) const;
+
+  const Lz77Params& params() const noexcept { return params_; }
+
+ private:
+  Lz77Params params_;
+};
+
+// Reconstruct the original bytes from tokens (shared by decoder tests).
+std::vector<std::uint8_t> lz77_reconstruct(std::span<const Lz77Token> tokens);
+
+}  // namespace dnacomp::compressors

@@ -1,0 +1,45 @@
+#include "compressors/naive2/naive2.h"
+
+#include <stdexcept>
+
+#include "sequence/alphabet.h"
+#include "sequence/packed_dna.h"
+#include "util/check.h"
+
+namespace dnacomp::compressors {
+
+std::vector<std::uint8_t> Naive2Compressor::compress(
+    std::span<const std::uint8_t> input, util::TrackingResource* mem) const {
+  const auto codes = require_dna_codes(input);
+  std::vector<std::uint8_t> out;
+  write_header(out, AlgorithmId::kNaive2, input.size());
+  const auto packed = sequence::PackedDna::from_codes(codes);
+  const auto payload = packed.packed_bytes();
+  if (mem != nullptr) {
+    util::ExternalAllocation guard(*mem, payload.size());
+    out.insert(out.end(), payload.begin(), payload.end());
+  } else {
+    out.insert(out.end(), payload.begin(), payload.end());
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> Naive2Compressor::decompress(
+    std::span<const std::uint8_t> input, util::TrackingResource* mem) const {
+  (void)mem;
+  const auto header = read_header(input, AlgorithmId::kNaive2);
+  const auto n = static_cast<std::size_t>(header.original_size);
+  const auto payload = input.subspan(header.header_bytes);
+  if (payload.size() < (n + 3) / 4) {
+    throw std::runtime_error("naive2: truncated stream");
+  }
+  std::vector<std::uint8_t> text;
+  text.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint8_t code = (payload[i >> 2] >> ((i & 3) * 2)) & 3u;
+    text.push_back(static_cast<std::uint8_t>(sequence::code_to_base(code)));
+  }
+  return text;
+}
+
+}  // namespace dnacomp::compressors

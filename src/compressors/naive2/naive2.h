@@ -1,0 +1,24 @@
+// naive2 — the "naïve 2 bits per symbol" control (paper Table 1 lists it as
+// one of DNAPack's non-repeat options). Pure 2-bit packing via PackedDna:
+// every DNA-aware codec must beat this floor for its gains to mean
+// anything, and the benches use it as the ratio baseline.
+#pragma once
+
+#include "compressors/compressor.h"
+
+namespace dnacomp::compressors {
+
+class Naive2Compressor final : public Compressor {
+ public:
+  AlgorithmId id() const noexcept override { return AlgorithmId::kNaive2; }
+  std::string_view family() const noexcept override { return "baseline"; }
+
+  std::vector<std::uint8_t> compress(
+      std::span<const std::uint8_t> input,
+      util::TrackingResource* mem = nullptr) const override;
+  std::vector<std::uint8_t> decompress(
+      std::span<const std::uint8_t> input,
+      util::TrackingResource* mem = nullptr) const override;
+};
+
+}  // namespace dnacomp::compressors

@@ -1,0 +1,212 @@
+#include "compressors/vertical/refcompress.h"
+
+#include <stdexcept>
+
+#include "bitio/models.h"
+#include "bitio/range_coder.h"
+#include "compressors/compressor.h"
+#include "sequence/alphabet.h"
+#include "util/check.h"
+
+namespace dnacomp::compressors {
+namespace {
+
+constexpr std::uint8_t kVerticalMagic = 6;  // after the AlgorithmId range
+
+inline std::size_t fingerprint_of(std::uint64_t kmer, unsigned table_bits) {
+  return static_cast<std::size_t>((kmer * 0x9E3779B97F4A7C15ULL) >>
+                                  (64 - table_bits));
+}
+
+struct RefModels {
+  RefModels() : literal(2), pos_delta(40), length(26) {}
+
+  bitio::AdaptiveBitModel is_match;
+  bitio::AdaptiveBitModel delta_sign;
+  bitio::OrderKBaseModel literal;
+  bitio::UIntModel pos_delta;  // |ref_pos - expected| (zigzag via sign bit)
+  bitio::UIntModel length;     // len - min_match
+};
+
+}  // namespace
+
+std::uint64_t compute_reference_fingerprint(std::string_view reference) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : reference) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+RefCompressor::RefCompressor(std::string_view reference,
+                             RefCompressParams params,
+                             util::TrackingResource* mem)
+    : params_(params) {
+  DC_CHECK(params_.seed_bases >= 8 && params_.seed_bases <= 31);
+  DC_CHECK(params_.min_match >= params_.seed_bases);
+  const auto codes = sequence::encode_bases(reference);
+  if (!codes.has_value()) {
+    throw std::invalid_argument("RefCompressor: reference must be ACGT text");
+  }
+  ref_codes_ = std::move(*codes);
+  ref_fp_ = compute_reference_fingerprint(reference);
+
+  index_.assign(std::size_t{1} << params_.table_bits, 0);
+  if (mem != nullptr) {
+    mem->note_external(index_.size() * sizeof(std::uint32_t) +
+                       ref_codes_.size());
+  }
+  const unsigned k = params_.seed_bases;
+  if (ref_codes_.size() < k) return;
+  const std::uint64_t mask = (std::uint64_t{1} << (2 * k)) - 1;
+  std::uint64_t kmer = 0;
+  for (std::size_t p = 0; p < ref_codes_.size(); ++p) {
+    kmer = ((kmer << 2) | ref_codes_[p]) & mask;
+    if (p + 1 >= k) {
+      const std::size_t start = p + 1 - k;
+      index_[fingerprint_of(kmer, params_.table_bits)] =
+          static_cast<std::uint32_t>(start + 1);
+    }
+  }
+}
+
+std::vector<std::uint8_t> RefCompressor::compress(
+    std::string_view target) const {
+  const auto maybe_codes = sequence::encode_bases(target);
+  if (!maybe_codes.has_value()) {
+    throw std::invalid_argument("RefCompressor: target must be ACGT text");
+  }
+  const auto& codes = *maybe_codes;
+  const std::size_t n = codes.size();
+
+  std::vector<std::uint8_t> out;
+  out.push_back('D');
+  out.push_back('C');
+  out.push_back(kVerticalMagic);
+  put_varint(out, n);
+  put_varint(out, ref_fp_);
+  if (n == 0) return out;
+
+  const unsigned k = params_.seed_bases;
+  const std::uint64_t mask = (std::uint64_t{1} << (2 * k)) - 1;
+
+  RefModels models;
+  bitio::RangeEncoder enc;
+
+  auto extend = [&](std::size_t ref_pos, std::size_t at) {
+    std::size_t len = 0;
+    const std::size_t limit =
+        std::min(n - at, ref_codes_.size() - ref_pos);
+    while (len < limit && ref_codes_[ref_pos + len] == codes[at + len]) ++len;
+    return len;
+  };
+
+  std::size_t i = 0;
+  std::size_t expected = 0;  // continuation point on the reference diagonal
+  while (i < n) {
+    std::size_t best_len = 0, best_pos = 0;
+
+    // Prefer continuing the current diagonal (captures SNP-separated runs
+    // without touching the index at all).
+    if (expected < ref_codes_.size()) {
+      const std::size_t len = extend(expected, i);
+      if (len >= params_.min_match) {
+        best_len = len;
+        best_pos = expected;
+      }
+    }
+    if (best_len == 0 && i + k <= n) {
+      std::uint64_t kmer = 0;
+      for (unsigned t = 0; t < k; ++t) kmer = ((kmer << 2) | codes[i + t]) & mask;
+      const std::uint32_t slot =
+          index_[fingerprint_of(kmer, params_.table_bits)];
+      if (slot != 0) {
+        const std::size_t p = slot - 1;
+        const std::size_t len = extend(p, i);
+        if (len >= params_.min_match) {
+          best_len = len;
+          best_pos = p;
+        }
+      }
+    }
+
+    if (best_len > 0) {
+      models.is_match.encode(enc, 1);
+      const auto delta =
+          static_cast<std::int64_t>(best_pos) -
+          static_cast<std::int64_t>(expected);
+      models.delta_sign.encode(enc, delta < 0 ? 1u : 0u);
+      models.pos_delta.encode(
+          enc, static_cast<std::uint64_t>(delta < 0 ? -delta : delta));
+      models.length.encode(enc, best_len - params_.min_match);
+      i += best_len;
+      expected = best_pos + best_len;
+    } else {
+      models.is_match.encode(enc, 0);
+      models.literal.encode(enc, codes[i]);
+      ++i;
+      // A SNP: the diagonal advances by one on both sides.
+      if (expected < ref_codes_.size()) ++expected;
+    }
+  }
+
+  const auto body = enc.finish();
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+std::string RefCompressor::decompress(
+    std::span<const std::uint8_t> data) const {
+  if (data.size() < 4 || data[0] != 'D' || data[1] != 'C' ||
+      data[2] != kVerticalMagic) {
+    throw std::runtime_error("refcompress: bad magic");
+  }
+  std::size_t pos = 3;
+  const std::uint64_t n64 = get_varint(data, &pos);
+  const std::uint64_t fp = get_varint(data, &pos);
+  if (fp != ref_fp_) {
+    throw std::runtime_error(
+        "refcompress: stream was compressed against a different reference");
+  }
+  const auto n = static_cast<std::size_t>(n64);
+  std::vector<std::uint8_t> codes;
+  codes.reserve(n);
+  if (n == 0) return {};
+
+  RefModels models;
+  bitio::RangeDecoder dec(data.subspan(pos));
+  std::size_t expected = 0;
+  while (codes.size() < n) {
+    if (models.is_match.decode(dec) != 0) {
+      const unsigned neg = models.delta_sign.decode(dec);
+      const auto mag = models.pos_delta.decode(dec);
+      const std::int64_t delta =
+          neg != 0 ? -static_cast<std::int64_t>(mag)
+                   : static_cast<std::int64_t>(mag);
+      const std::int64_t spos = static_cast<std::int64_t>(expected) + delta;
+      const std::size_t len = static_cast<std::size_t>(
+          models.length.decode(dec)) + params_.min_match;
+      if (spos < 0 ||
+          static_cast<std::uint64_t>(spos) > ref_codes_.size() ||
+          len > ref_codes_.size() - static_cast<std::size_t>(spos) ||
+          len > n - codes.size()) {
+        throw std::runtime_error("refcompress: corrupt RM entry");
+      }
+      const auto ref_pos = static_cast<std::size_t>(spos);
+      for (std::size_t t = 0; t < len; ++t) {
+        codes.push_back(ref_codes_[ref_pos + t]);
+      }
+      expected = ref_pos + len;
+    } else {
+      codes.push_back(static_cast<std::uint8_t>(models.literal.decode(dec)));
+      if (expected < ref_codes_.size()) ++expected;
+    }
+    if (dec.overflowed()) {
+      throw std::runtime_error("refcompress: truncated stream");
+    }
+  }
+  return sequence::decode_bases(codes);
+}
+
+}  // namespace dnacomp::compressors

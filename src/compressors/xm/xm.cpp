@@ -1,0 +1,279 @@
+#include "compressors/xm/xm.h"
+
+#include <array>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "bitio/range_coder.h"
+#include "sequence/alphabet.h"
+#include "util/check.h"
+
+namespace dnacomp::compressors {
+namespace {
+
+inline std::size_t bucket_of(std::uint64_t kmer, unsigned table_bits) {
+  return static_cast<std::size_t>((kmer * 0x9E3779B97F4A7C15ULL) >>
+                                  (64 - table_bits));
+}
+
+// One fixed-order Markov expert: per-context counts with add-1/2 smoothing.
+class MarkovExpert {
+ public:
+  explicit MarkovExpert(unsigned order)
+      : order_(order),
+        mask_((std::size_t{1} << (2 * order)) - 1),
+        counts_((mask_ + 1) * 4, 0) {}
+
+  void predict(std::array<double, 4>& p) const {
+    const std::uint32_t* c = &counts_[(history_ & mask_) * 4];
+    const double total =
+        static_cast<double>(c[0]) + c[1] + c[2] + c[3] + 2.0;
+    for (unsigned s = 0; s < 4; ++s) {
+      p[s] = (static_cast<double>(c[s]) + 0.5) / total;
+    }
+  }
+
+  void update(unsigned symbol) {
+    std::uint32_t* c = &counts_[(history_ & mask_) * 4];
+    if (++c[symbol] >= (1u << 16)) {
+      for (unsigned s = 0; s < 4; ++s) c[s] = (c[s] + 1) / 2;
+    }
+    history_ = ((history_ << 2) | symbol) & mask_;
+  }
+
+  std::size_t memory_bytes() const noexcept {
+    return counts_.capacity() * sizeof(std::uint32_t);
+  }
+
+ private:
+  unsigned order_;
+  std::size_t mask_;
+  std::size_t history_ = 0;
+  std::vector<std::uint32_t> counts_;
+};
+
+struct CopyExpert {
+  std::size_t pointer = 0;  // next history position it predicts from
+  double weight = 0.0;
+};
+
+// The full expert panel. Encoder and decoder evolve it identically from the
+// decoded history, so no side information is needed.
+class XmModel {
+ public:
+  XmModel(const XmParams& params, util::TrackingResource& meter)
+      : params_(params),
+        meter_(meter),
+        markov_{MarkovExpert(params.markov_orders[0]),
+                MarkovExpert(params.markov_orders[1])},
+        markov_weight_{0.5, 0.5},
+        index_(std::size_t{1} << params.table_bits, 0) {
+    meter_.note_external(markov_[0].memory_bytes() +
+                         markov_[1].memory_bytes() +
+                         index_.size() * sizeof(std::uint32_t));
+    copies_.reserve(params_.max_copy_experts);
+    kmer_mask_ = (std::uint64_t{1} << (2 * params_.seed_bases)) - 1;
+  }
+
+  ~XmModel() {
+    // Release exactly what the constructor noted; the decoded history is
+    // metered by the caller.
+    meter_.release_external(markov_[0].memory_bytes() +
+                            markov_[1].memory_bytes() +
+                            index_.size() * sizeof(std::uint32_t));
+  }
+
+  // Blended distribution over the next base.
+  std::array<double, 4> predict() const {
+    std::array<double, 4> mix{};
+    double total_w = 0.0;
+    std::array<double, 4> pe{};
+    for (unsigned m = 0; m < 2; ++m) {
+      markov_[m].predict(pe);
+      for (unsigned s = 0; s < 4; ++s) mix[s] += markov_weight_[m] * pe[s];
+      total_w += markov_weight_[m];
+    }
+    const double miss = (1.0 - params_.copy_hit_probability) / 3.0;
+    for (const auto& e : copies_) {
+      const unsigned guess = history_[e.pointer];
+      for (unsigned s = 0; s < 4; ++s) {
+        mix[s] += e.weight *
+                  (s == guess ? params_.copy_hit_probability : miss);
+      }
+      total_w += e.weight;
+    }
+    double sum = 0.0;
+    for (unsigned s = 0; s < 4; ++s) {
+      mix[s] /= total_w;
+      // Floor so no symbol is ever impossible (corrupt-stream safety).
+      if (mix[s] < 1e-6) mix[s] = 1e-6;
+      sum += mix[s];
+    }
+    for (auto& v : mix) v /= sum;
+    return mix;
+  }
+
+  // Account the coded symbol: reweigh experts by their likelihood, advance
+  // pointers, spawn/retire copy experts, extend history and the index.
+  void update(unsigned symbol) {
+    std::array<double, 4> pe{};
+    for (unsigned m = 0; m < 2; ++m) {
+      markov_[m].predict(pe);
+      markov_weight_[m] = std::pow(markov_weight_[m], params_.weight_decay) *
+                          pe[symbol];
+      markov_[m].update(symbol);
+    }
+    const double miss = (1.0 - params_.copy_hit_probability) / 3.0;
+    for (auto& e : copies_) {
+      const unsigned guess = history_[e.pointer];
+      const double like =
+          guess == symbol ? params_.copy_hit_probability : miss;
+      e.weight = std::pow(e.weight, params_.weight_decay) * like;
+      ++e.pointer;  // follow the history forward
+    }
+    normalize_weights();
+
+    // Retire experts that fell below the floor or ran off the history end.
+    std::erase_if(copies_, [&](const CopyExpert& e) {
+      return e.weight < params_.min_weight || e.pointer >= history_.size();
+    });
+
+    history_.push_back(static_cast<std::uint8_t>(symbol));
+
+    // Index maintenance + spawning: when the fresh k-mer has been seen
+    // before, start a copy expert at the position right after it.
+    kmer_ = ((kmer_ << 2) | symbol) & kmer_mask_;
+    if (history_.size() >= params_.seed_bases) {
+      const std::size_t b = bucket_of(kmer_, params_.table_bits);
+      const std::uint32_t prev = index_[b];
+      index_[b] = static_cast<std::uint32_t>(history_.size());
+      if (prev != 0 && static_cast<std::size_t>(prev) < history_.size() &&
+          copies_.size() < params_.max_copy_experts) {
+        bool duplicate = false;
+        for (const auto& e : copies_) {
+          if (e.pointer == prev) {
+            duplicate = true;
+            break;
+          }
+        }
+        if (!duplicate) {
+          copies_.push_back({prev, kSpawnWeight});
+          normalize_weights();
+        }
+      }
+    }
+  }
+
+ private:
+  static constexpr double kSpawnWeight = 0.15;
+
+  void normalize_weights() {
+    double total = markov_weight_[0] + markov_weight_[1];
+    for (const auto& e : copies_) total += e.weight;
+    DC_CHECK(total > 0.0);
+    markov_weight_[0] /= total;
+    markov_weight_[1] /= total;
+    for (auto& e : copies_) e.weight /= total;
+    // Keep the Markov experts from starving entirely: they are the fallback
+    // when every copy expert derails.
+    const double markov_floor = 0.02;
+    for (unsigned m = 0; m < 2; ++m) {
+      if (markov_weight_[m] < markov_floor) markov_weight_[m] = markov_floor;
+    }
+  }
+
+  XmParams params_;
+  util::TrackingResource& meter_;
+  std::array<MarkovExpert, 2> markov_;
+  std::array<double, 2> markov_weight_;
+  std::vector<CopyExpert> copies_;
+  std::vector<std::uint8_t> history_;
+  std::vector<std::uint32_t> index_;
+  std::uint64_t kmer_ = 0;
+  std::uint64_t kmer_mask_ = 0;
+};
+
+// Arithmetic-code one 4-ary symbol from a distribution via two binary
+// decisions: first the high bit (p(2)+p(3)), then the low bit within the
+// chosen half.
+void encode_symbol(bitio::RangeEncoder& enc, const std::array<double, 4>& p,
+                   unsigned symbol) {
+  const double p_hi = p[2] + p[3];
+  const unsigned hi = (symbol >> 1) & 1u;
+  enc.encode_bit_p(1.0 - p_hi, hi);
+  const double within = hi ? p[3] / (p[2] + p[3]) : p[1] / (p[0] + p[1]);
+  enc.encode_bit_p(1.0 - within, symbol & 1u);
+}
+
+unsigned decode_symbol(bitio::RangeDecoder& dec,
+                       const std::array<double, 4>& p) {
+  const double p_hi = p[2] + p[3];
+  const unsigned hi = dec.decode_bit_p(1.0 - p_hi);
+  const double within = hi ? p[3] / (p[2] + p[3]) : p[1] / (p[0] + p[1]);
+  const unsigned lo = dec.decode_bit_p(1.0 - within);
+  return (hi << 1) | lo;
+}
+
+}  // namespace
+
+XmCompressor::XmCompressor(XmParams params) : params_(params) {
+  DC_CHECK(params_.markov_orders[0] <= 12 && params_.markov_orders[1] <= 12);
+  DC_CHECK(params_.seed_bases >= 8 && params_.seed_bases <= 31);
+  DC_CHECK(params_.copy_hit_probability > 0.25 &&
+           params_.copy_hit_probability < 1.0);
+  DC_CHECK(params_.weight_decay > 0.0 && params_.weight_decay <= 1.0);
+}
+
+std::vector<std::uint8_t> XmCompressor::compress(
+    std::span<const std::uint8_t> input, util::TrackingResource* mem) const {
+  const auto codes = require_dna_codes(input);
+
+  std::vector<std::uint8_t> out;
+  write_header(out, AlgorithmId::kXm, input.size());
+  if (codes.empty()) return out;
+
+  util::TrackingResource local_meter;
+  util::TrackingResource& meter = mem != nullptr ? *mem : local_meter;
+  util::ExternalAllocation history_mem(meter, codes.size());
+
+  XmModel model(params_, meter);
+  bitio::RangeEncoder enc;
+  for (const auto c : codes) {
+    const auto p = model.predict();
+    encode_symbol(enc, p, c);
+    model.update(c);
+  }
+  const auto body = enc.finish();
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+std::vector<std::uint8_t> XmCompressor::decompress(
+    std::span<const std::uint8_t> input, util::TrackingResource* mem) const {
+  const auto header = read_header(input, AlgorithmId::kXm);
+  const auto n = static_cast<std::size_t>(header.original_size);
+  std::vector<std::uint8_t> text;
+  text.reserve(n);
+  if (n == 0) return text;
+
+  util::TrackingResource local_meter;
+  util::TrackingResource& meter = mem != nullptr ? *mem : local_meter;
+  util::ExternalAllocation history_mem(meter, n);
+
+  XmModel model(params_, meter);
+  bitio::RangeDecoder dec(input.subspan(header.header_bytes));
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto p = model.predict();
+    const unsigned c = decode_symbol(dec, p);
+    model.update(c);
+    text.push_back(static_cast<std::uint8_t>(
+        sequence::code_to_base(static_cast<std::uint8_t>(c))));
+  }
+  if (dec.overflowed()) {
+    throw std::runtime_error("xm: truncated stream");
+  }
+  return text;
+}
+
+}  // namespace dnacomp::compressors

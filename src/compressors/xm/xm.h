@@ -1,0 +1,52 @@
+// XM — "expert model" statistical compressor (Cao, Dix, Allison & Mears,
+// DCC'07), the strongest statistical entry in the paper's Table 1.
+//
+// A panel of experts predicts each base:
+//  * Markov experts of fixed orders (always active), and
+//  * copy experts, each tracking a position in the already-seen history and
+//    predicting "the base that followed last time", spawned from a k-mer
+//    index hit and retired when they perform poorly.
+// Expert opinions are blended by Bayesian-style weights (exponentially
+// decayed likelihood), and the mixture drives the range coder. This is a
+// faithful simplification: the original's specific expert set and
+// discounting constants differ, but the architecture — blended copy +
+// context experts with performance-based weighting — is XM's.
+//
+// Like CTW it is symmetric (decompression re-runs the full model), slow,
+// and strong on statistical structure; unlike CTW it also exploits repeats
+// through the copy experts, which is why XM led the published benchmarks.
+#pragma once
+
+#include "compressors/compressor.h"
+
+namespace dnacomp::compressors {
+
+struct XmParams {
+  unsigned markov_orders[2] = {2, 8};  // always-active context experts
+  unsigned max_copy_experts = 12;
+  unsigned seed_bases = 12;       // k-mer length for spawning copy experts
+  unsigned table_bits = 18;       // history index size
+  double copy_hit_probability = 0.90;  // copy expert's confidence
+  double weight_decay = 0.97;     // exponential forgetting of expert skill
+  double min_weight = 1e-4;       // retire copy experts below this share
+};
+
+class XmCompressor final : public Compressor {
+ public:
+  explicit XmCompressor(XmParams params = {});
+
+  AlgorithmId id() const noexcept override { return AlgorithmId::kXm; }
+  std::string_view family() const noexcept override { return "statistical"; }
+
+  std::vector<std::uint8_t> compress(
+      std::span<const std::uint8_t> input,
+      util::TrackingResource* mem = nullptr) const override;
+  std::vector<std::uint8_t> decompress(
+      std::span<const std::uint8_t> input,
+      util::TrackingResource* mem = nullptr) const override;
+
+ private:
+  XmParams params_;
+};
+
+}  // namespace dnacomp::compressors

@@ -1,0 +1,114 @@
+#include "core/experiment.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/random.h"
+#include "util/thread_pool.h"
+
+namespace dnacomp::core {
+namespace {
+
+// Deterministic per-cell noise: the RNG is seeded from (seed, file, context
+// index, algorithm index) so rows are reproducible regardless of the thread
+// schedule.
+struct CellNoise {
+  double cpu_load_pct = 0.0;
+  double ram_multiplier = 1.0;
+  double ram_overhead_bytes = 0.0;
+  double time_factor = 1.0;
+};
+
+CellNoise sample_noise(const NoiseParams& p, std::size_t file_idx,
+                       std::size_t ctx_idx, std::size_t algo_idx) {
+  CellNoise n;
+  if (!p.enabled) return n;
+  util::Xoshiro256 rng(p.seed ^ (file_idx * 0x9E3779B97F4A7C15ULL) ^
+                       (ctx_idx * 0xC2B2AE3D27D4EB4FULL) ^
+                       (algo_idx * 0x165667B19E3779F9ULL));
+  // Exponential spike over the base load, clamped to [0, 100].
+  double u = rng.next_double();
+  if (u < 1e-12) u = 1e-12;
+  n.cpu_load_pct = p.base_load_pct - p.spike_mean_pct * std::log(u);
+  if (n.cpu_load_pct > 100.0) n.cpu_load_pct = 100.0;
+  if (n.cpu_load_pct >= p.ram_double_threshold_pct) n.ram_multiplier = 2.0;
+  n.ram_overhead_bytes = static_cast<double>(p.overhead_min_bytes) +
+                         rng.next_double() *
+                             static_cast<double>(p.overhead_max_bytes -
+                                                 p.overhead_min_bytes);
+  n.time_factor = std::exp(p.time_jitter_sigma * rng.next_gaussian());
+  // Heavy background load also slows the measured times a little.
+  n.time_factor *= 1.0 + n.cpu_load_pct / 8000.0;
+  return n;
+}
+
+}  // namespace
+
+std::vector<ExperimentRow> run_experiments(
+    const std::vector<sequence::CorpusFile>& corpus,
+    const std::vector<cloud::VmSpec>& contexts, CostOracle& oracle,
+    const ExperimentConfig& config) {
+  DC_CHECK(!corpus.empty());
+  DC_CHECK(!contexts.empty());
+  DC_CHECK(!config.algorithms.empty());
+
+  const cloud::TransferModel model(config.transfer);
+  const std::size_t n_algos = config.algorithms.size();
+  const std::size_t rows_per_file = contexts.size() * n_algos;
+  std::vector<ExperimentRow> rows(corpus.size() * rows_per_file);
+
+  // Base measurements first (parallel over file × algorithm) — the costly
+  // part; context projection afterwards is pure arithmetic.
+  std::vector<MeasuredCosts> base(corpus.size() * n_algos);
+  util::ThreadPool pool(config.threads);
+  pool.parallel_for(base.size(), [&](std::size_t i) {
+    const std::size_t f = i / n_algos;
+    const std::size_t a = i % n_algos;
+    base[i] = oracle.measure(corpus[f], config.algorithms[a]);
+  });
+
+  pool.parallel_for(corpus.size(), [&](std::size_t f) {
+    std::size_t out = f * rows_per_file;
+    for (std::size_t c = 0; c < contexts.size(); ++c) {
+      const cloud::VmSpec& vm = contexts[c];
+      for (std::size_t a = 0; a < n_algos; ++a, ++out) {
+        const MeasuredCosts& m = base[f * n_algos + a];
+        const CellNoise noise = sample_noise(config.noise, f, c, a);
+        // Link-state noise is common to every algorithm in the cell (the
+        // same link, the same moment); only compute noise is per-process.
+        const CellNoise link_noise =
+            sample_noise(config.noise, f, c, std::size_t{0xFFFF});
+
+        ExperimentRow& row = rows[out];
+        row.file_index = f;
+        row.file_name = corpus[f].name;
+        row.file_bytes = corpus[f].data.size();
+        row.context = vm;
+        row.algorithm = config.algorithms[a];
+        row.compressed_bytes = m.compressed_bytes;
+        row.cpu_load_pct = noise.cpu_load_pct;
+
+        // Working set for the RAM penalty: compressor structures plus the
+        // file itself and the output buffer.
+        const std::size_t working_set =
+            m.peak_ram_bytes + m.original_bytes + m.compressed_bytes;
+
+        row.compress_ms =
+            model.scale_compute_ms(m.compress_ms, working_set, vm) *
+            noise.time_factor;
+        // Decompression happens at the fixed cloud VM.
+        row.decompress_ms = model.scale_compute_ms(
+            m.decompress_ms, working_set, cloud::cloud_vm());
+        row.upload_ms = model.upload_time_ms(m.compressed_bytes, vm) *
+                        link_noise.time_factor;
+        row.download_ms = model.download_time_ms(m.compressed_bytes);
+        row.ram_used_bytes =
+            (static_cast<double>(m.peak_ram_bytes) + noise.ram_overhead_bytes) *
+            noise.ram_multiplier;
+      }
+    }
+  });
+  return rows;
+}
+
+}  // namespace dnacomp::core

@@ -1,0 +1,72 @@
+// The experiment grid: corpus files × contexts × algorithms, each cell
+// holding the five dependent variables of the paper's labeling equation —
+// compression time, decompression time, upload time, download time and RAM
+// used (§IV-B/C).
+//
+// Base costs come from a CostOracle (one real measurement per file ×
+// algorithm); the TransferModel projects them into each context; a seeded
+// CPU-load noise process perturbs the *observed* RAM exactly the way the
+// paper describes ("in multiple cases when CPU usage is greater than 30%
+// the RAM usage got double", §V-E) — this is what makes RAM labels nearly
+// unlearnable while time labels stay clean.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cloud/transfer_model.h"
+#include "cloud/vm.h"
+#include "core/measurement.h"
+#include "sequence/corpus.h"
+
+namespace dnacomp::core {
+
+struct NoiseParams {
+  bool enabled = true;
+  std::uint64_t seed = 99;
+  // Background CPU load: exponential spikes over a base level.
+  double base_load_pct = 8.0;
+  double spike_mean_pct = 18.0;
+  double ram_double_threshold_pct = 30.0;  // paper's observation
+  // OS/process overhead added to observed RAM, uniform range (bytes). The
+  // paper measured whole-process RAM; the overhead swamps the algorithmic
+  // differences, which is why RAM classification tops out near 36 %.
+  std::size_t overhead_min_bytes = std::size_t{20} << 20;
+  std::size_t overhead_max_bytes = std::size_t{60} << 20;
+  // Lognormal jitter (sigma) applied to observed times. Small: time labels
+  // remain ~95 % learnable.
+  double time_jitter_sigma = 0.002;
+};
+
+struct ExperimentRow {
+  std::size_t file_index = 0;
+  std::string file_name;
+  std::size_t file_bytes = 0;
+  cloud::VmSpec context;
+  std::string algorithm;
+  // Observed dependent variables (context-projected, noise applied).
+  double compress_ms = 0.0;
+  double decompress_ms = 0.0;
+  double upload_ms = 0.0;
+  double download_ms = 0.0;
+  double ram_used_bytes = 0.0;
+  std::size_t compressed_bytes = 0;
+  double cpu_load_pct = 0.0;  // sampled background load for this cell
+};
+
+struct ExperimentConfig {
+  std::vector<std::string> algorithms = {"ctw", "dnax", "gencompress", "gzip"};
+  cloud::TransferModelParams transfer;
+  NoiseParams noise;
+  std::size_t threads = 0;  // 0 = hardware concurrency
+};
+
+// Runs the whole grid. Rows are ordered file-major, then context (in
+// cloud::context_grid() order), then algorithm — 132 * 32 * 4 = 16896 rows
+// for the default corpus.
+std::vector<ExperimentRow> run_experiments(
+    const std::vector<sequence::CorpusFile>& corpus,
+    const std::vector<cloud::VmSpec>& contexts, CostOracle& oracle,
+    const ExperimentConfig& config);
+
+}  // namespace dnacomp::core

@@ -1,0 +1,169 @@
+#include "core/framework.h"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "cloud/vm.h"
+#include "compressors/compressor.h"
+#include "sequence/corpus.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace dnacomp::core {
+
+cloud::VmSpec ContextGatherer::gather() const {
+  cloud::VmSpec vm;
+  vm.bandwidth_mbps = bandwidth_mbps_;
+
+  // Total RAM from /proc/meminfo (fallback: keep default).
+  if (std::ifstream mi("/proc/meminfo"); mi.good()) {
+    std::string key;
+    while (mi >> key) {
+      if (key == "MemTotal:") {
+        double kb = 0;
+        mi >> kb;
+        vm.ram_gb = kb / (1024.0 * 1024.0);
+        break;
+      }
+      mi.ignore(4096, '\n');
+    }
+  }
+  // CPU clock from /proc/cpuinfo ("cpu MHz"); fallback: keep default.
+  if (std::ifstream ci("/proc/cpuinfo"); ci.good()) {
+    std::string line;
+    while (std::getline(ci, line)) {
+      if (line.rfind("cpu MHz", 0) == 0) {
+        const auto colon = line.find(':');
+        if (colon != std::string::npos) {
+          try {
+            vm.cpu_ghz = std::stod(line.substr(colon + 1)) / 1000.0;
+          } catch (const std::exception&) {
+          }
+        }
+        break;
+      }
+    }
+  }
+  return vm;
+}
+
+InferenceEngine::InferenceEngine(std::unique_ptr<ml::Classifier> model,
+                                 std::vector<std::string> algorithms)
+    : model_(std::move(model)), algorithms_(std::move(algorithms)) {
+  DC_CHECK(model_ != nullptr);
+  DC_CHECK(algorithms_.size() >= 2);
+}
+
+const std::string& InferenceEngine::decide(const cloud::VmSpec& context,
+                                           std::size_t file_bytes) const {
+  const std::vector<double> features = {
+      context.ram_gb, context.cpu_ghz, context.bandwidth_mbps,
+      static_cast<double>(file_bytes) / 1024.0};
+  const int cls = model_->predict(features);
+  DC_CHECK(cls >= 0 && static_cast<std::size_t>(cls) < algorithms_.size());
+  return algorithms_[static_cast<std::size_t>(cls)];
+}
+
+bool InferenceEngine::should_compress(const cloud::VmSpec& context,
+                                      std::size_t file_bytes,
+                                      const cloud::TransferModel& model) const {
+  // Sending raw costs pure transfer; compressing costs compression +
+  // transfer of roughly a quarter-to-half of the bytes. Use a conservative
+  // 2 bits/base bound for the compressed size and the DNAX rate (the
+  // cheapest compressor) for the compute estimate.
+  const double raw_ms = model.upload_time_ms(file_bytes, context) +
+                        model.download_time_ms(file_bytes);
+  const std::size_t packed = file_bytes / 4 + 16;
+  const double mb = static_cast<double>(file_bytes) / (1024.0 * 1024.0);
+  const double compress_estimate_ms =
+      model.scale_compute_ms(95.0 * mb + 0.5, packed, context);
+  const double compressed_ms = compress_estimate_ms +
+                               model.upload_time_ms(packed, context) +
+                               model.download_time_ms(packed);
+  return compressed_ms < raw_ms;
+}
+
+InferenceEngine train_inference_engine(CostOracle& oracle,
+                                       const EngineTrainingOptions& opts) {
+  const auto corpus = sequence::build_corpus(opts.corpus);
+  const auto contexts = cloud::context_grid();
+  const auto rows =
+      run_experiments(corpus, contexts, oracle, opts.experiment);
+  const auto cells =
+      label_cells(rows, opts.experiment.algorithms, WeightSpec::total_time());
+  const auto split = sequence::split_corpus(corpus.size());
+  const auto tables =
+      make_tables(cells, opts.experiment.algorithms, split.test);
+  auto fit = fit_and_evaluate(opts.method, tables);
+  return InferenceEngine(std::move(fit.model), opts.experiment.algorithms);
+}
+
+ExchangeSession::ExchangeSession(InferenceEngine engine,
+                                 cloud::BlobStore& store,
+                                 cloud::TransferModelParams transfer_params)
+    : engine_(std::move(engine)), store_(&store), transfer_(transfer_params) {}
+
+ExchangeReport ExchangeSession::exchange(std::string_view raw_text,
+                                         const cloud::VmSpec& client,
+                                         const std::string& container,
+                                         const std::string& blob_name) {
+  ExchangeReport report;
+
+  util::Stopwatch sw;
+  const auto cleansed = sequence::cleanse(raw_text);
+  report.cleanse_ms = sw.elapsed_ms();
+  report.cleanse_report = cleansed.report;
+  report.raw_bytes = cleansed.sequence.size();
+
+  report.compressed =
+      engine_.should_compress(client, cleansed.sequence.size(), transfer_);
+  std::vector<std::uint8_t> payload;
+  std::unique_ptr<compressors::Compressor> codec;
+  if (report.compressed) {
+    report.algorithm = engine_.decide(client, cleansed.sequence.size());
+    codec = compressors::make_compressor(report.algorithm);
+    DC_CHECK(codec != nullptr);
+    sw.reset();
+    payload = codec->compress_str(cleansed.sequence);
+    report.compress_ms = sw.elapsed_ms();
+  } else {
+    report.algorithm = "none";
+    payload.assign(cleansed.sequence.begin(), cleansed.sequence.end());
+  }
+  report.payload_bytes = payload.size();
+
+  // Upload as a block blob (staged, as Azure clients do for large files).
+  store_->create_container(container);
+  std::vector<std::string> block_ids;
+  for (std::size_t off = 0, blk = 0; off < payload.size() || blk == 0;
+       off += cloud::BlobStore::kBlockSize, ++blk) {
+    const std::size_t len =
+        std::min(cloud::BlobStore::kBlockSize, payload.size() - off);
+    std::string id = "block-" + std::to_string(blk);
+    store_->stage_block(container, blob_name, id,
+                        std::span<const std::uint8_t>(payload.data() + off,
+                                                      len));
+    block_ids.push_back(std::move(id));
+    if (payload.empty()) break;
+  }
+  store_->commit_block_list(container, blob_name, block_ids);
+  report.upload_ms = transfer_.upload_time_ms(payload.size(), client);
+
+  // Cloud side: download + decompress + verify.
+  const auto downloaded = store_->get_blob(container, blob_name);
+  DC_CHECK(downloaded.has_value());
+  report.download_ms = transfer_.download_time_ms(downloaded->size());
+  std::string restored;
+  if (report.compressed) {
+    sw.reset();
+    restored = codec->decompress_str(*downloaded);
+    report.decompress_ms = sw.elapsed_ms();
+  } else {
+    restored.assign(downloaded->begin(), downloaded->end());
+  }
+  report.verified = restored == cleansed.sequence;
+  return report;
+}
+
+}  // namespace dnacomp::core

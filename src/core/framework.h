@@ -1,0 +1,116 @@
+// The bioinformatics compression framework of the paper's Figures 1 and 7:
+//
+//   Context gatherer  — collects the resources available (RAM, CPU,
+//                       bandwidth) on the machine about to upload;
+//   Inference engine  — applies the rules learned from historical
+//                       experiments to pick the compression algorithm;
+//   Cleanser          — strips non-sequence text from the input;
+//   Compressor        — runs the chosen algorithm;
+//   (cloud side)      — the file is downloaded from the storage account and
+//                       decompressed at the cloud VM.
+//
+// ExchangeSession wires all of it to the BlobStore + TransferModel so an
+// example program can play a full upload/analyze round trip.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cloud/blob_store.h"
+#include "cloud/transfer_model.h"
+#include "cloud/vm.h"
+#include "core/measurement.h"
+#include "core/training.h"
+#include "ml/tree.h"
+#include "sequence/cleanser.h"
+
+namespace dnacomp::core {
+
+// Collects the local machine's resources. RAM and CPU are read from the OS
+// (/proc); bandwidth cannot be sensed passively, so it is supplied by the
+// caller (the paper configured it per VM).
+class ContextGatherer {
+ public:
+  explicit ContextGatherer(double assumed_bandwidth_mbps = 8.0)
+      : bandwidth_mbps_(assumed_bandwidth_mbps) {}
+
+  cloud::VmSpec gather() const;
+
+ private:
+  double bandwidth_mbps_;
+};
+
+// Applies learned rules to pick an algorithm for a (context, file size)
+// query. The paper's second framework question — "whether it is crucial to
+// compress" — is answered by should_compress(): compression is skipped when
+// the projected total with the best algorithm exceeds sending raw bytes.
+class InferenceEngine {
+ public:
+  InferenceEngine(std::unique_ptr<ml::Classifier> model,
+                  std::vector<std::string> algorithms);
+
+  const std::string& decide(const cloud::VmSpec& context,
+                            std::size_t file_bytes) const;
+
+  bool should_compress(const cloud::VmSpec& context, std::size_t file_bytes,
+                       const cloud::TransferModel& model) const;
+
+  std::vector<std::string> rules() const { return model_->rules(); }
+  const ml::Classifier& model() const { return *model_; }
+  const std::vector<std::string>& algorithms() const { return algorithms_; }
+
+ private:
+  std::unique_ptr<ml::Classifier> model_;
+  std::vector<std::string> algorithms_;
+};
+
+// Trains an engine from scratch: build corpus -> run experiments -> label
+// with equal-weight total time (the paper's Eq. 1 headline configuration) ->
+// fit the chosen method on the training files.
+struct EngineTrainingOptions {
+  Method method = Method::kCart;
+  sequence::CorpusOptions corpus;
+  ExperimentConfig experiment;
+};
+InferenceEngine train_inference_engine(CostOracle& oracle,
+                                       const EngineTrainingOptions& opts = {});
+
+// ---------------------------------------------------------------- session
+
+struct ExchangeReport {
+  std::string algorithm;       // chosen by the inference engine
+  bool compressed = false;     // false when should_compress said no
+  std::size_t raw_bytes = 0;   // after cleansing
+  std::size_t payload_bytes = 0;
+  double cleanse_ms = 0.0;
+  double compress_ms = 0.0;    // measured locally
+  double upload_ms = 0.0;      // simulated
+  double download_ms = 0.0;    // simulated
+  double decompress_ms = 0.0;  // measured locally
+  bool verified = false;       // decompressed output == cleansed input
+  sequence::CleanseReport cleanse_report;
+};
+
+class ExchangeSession {
+ public:
+  ExchangeSession(InferenceEngine engine, cloud::BlobStore& store,
+                  cloud::TransferModelParams transfer_params = {});
+
+  // Full Fig. 1 round trip: cleanse -> decide -> compress -> upload as a
+  // BLOB -> download at the cloud VM -> decompress -> verify.
+  ExchangeReport exchange(std::string_view raw_text,
+                          const cloud::VmSpec& client,
+                          const std::string& container,
+                          const std::string& blob_name);
+
+  const InferenceEngine& engine() const { return engine_; }
+
+ private:
+  InferenceEngine engine_;
+  cloud::BlobStore* store_;
+  cloud::TransferModel transfer_;
+};
+
+}  // namespace dnacomp::core

@@ -1,0 +1,146 @@
+#include "core/labeling.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace dnacomp::core {
+namespace {
+
+std::string ratio_label(const char* vars, std::initializer_list<double> ws) {
+  std::string s = vars;
+  s += ' ';
+  bool first = true;
+  char buf[16];
+  for (const double w : ws) {
+    if (!first) s += ':';
+    std::snprintf(buf, sizeof buf, "%g", w * 100.0);
+    s += buf;
+    first = false;
+  }
+  return s;
+}
+
+}  // namespace
+
+WeightSpec WeightSpec::total_time() {
+  WeightSpec w;
+  w.compress_time = w.decompress_time = w.upload_time = w.download_time = 0.25;
+  w.label = "TIME 100";
+  return w;
+}
+
+WeightSpec WeightSpec::ram_only() {
+  WeightSpec w;
+  w.ram = 1.0;
+  w.label = "RAM 100";
+  return w;
+}
+
+WeightSpec WeightSpec::compression_time_only() {
+  WeightSpec w;
+  w.compress_time = 1.0;
+  w.label = "CompressionTime 100";
+  return w;
+}
+
+WeightSpec WeightSpec::ram_time(double w_ram, double w_time) {
+  DC_CHECK(w_ram >= 0 && w_time >= 0 && w_ram + w_time > 0);
+  WeightSpec w;
+  w.ram = w_ram;
+  w.compress_time = w.decompress_time = w.upload_time = w.download_time =
+      w_time / 4.0;
+  w.label = ratio_label("RAM:TIME", {w_ram, w_time});
+  return w;
+}
+
+WeightSpec WeightSpec::ram_compression(double w_ram, double w_comp) {
+  WeightSpec w;
+  w.ram = w_ram;
+  w.compress_time = w_comp;
+  w.label = ratio_label("RAM:CompTime", {w_ram, w_comp});
+  return w;
+}
+
+WeightSpec WeightSpec::ram_comp_upload(double w_ram, double w_comp,
+                                       double w_upload) {
+  WeightSpec w;
+  w.ram = w_ram;
+  w.compress_time = w_comp;
+  w.upload_time = w_upload;
+  w.label = ratio_label("RAM:CompTime:UploadTime", {w_ram, w_comp, w_upload});
+  return w;
+}
+
+std::vector<LabeledCell> label_cells(
+    const std::vector<ExperimentRow>& rows,
+    const std::vector<std::string>& algorithms, const WeightSpec& weights,
+    MixingMode mode) {
+  const std::size_t n_algos = algorithms.size();
+  DC_CHECK(n_algos >= 2);
+  DC_CHECK_MSG(rows.size() % n_algos == 0,
+               "row count is not a multiple of the algorithm count");
+
+  std::vector<LabeledCell> cells;
+  cells.reserve(rows.size() / n_algos);
+
+  for (std::size_t base = 0; base < rows.size(); base += n_algos) {
+    LabeledCell cell;
+    cell.file_index = rows[base].file_index;
+    cell.file_name = rows[base].file_name;
+    cell.file_bytes = rows[base].file_bytes;
+    cell.context = rows[base].context;
+    cell.first_row = base;
+    cell.scores.resize(n_algos);
+
+    // Within-cell maxima for normalisation.
+    double max_c = 0, max_d = 0, max_u = 0, max_dl = 0, max_r = 0;
+    for (std::size_t a = 0; a < n_algos; ++a) {
+      const ExperimentRow& r = rows[base + a];
+      DC_CHECK_MSG(r.algorithm == algorithms[a],
+                   "row order does not match the algorithm list");
+      max_c = std::max(max_c, r.compress_ms);
+      max_d = std::max(max_d, r.decompress_ms);
+      max_u = std::max(max_u, r.upload_ms);
+      max_dl = std::max(max_dl, r.download_ms);
+      max_r = std::max(max_r, r.ram_used_bytes);
+    }
+    auto norm = [](double v, double mx) { return mx > 0 ? v / mx : 0.0; };
+
+    double best = 1e300;
+    for (std::size_t a = 0; a < n_algos; ++a) {
+      const ExperimentRow& r = rows[base + a];
+      double e;
+      if (mode == MixingMode::kRawPaper) {
+        e = weights.compress_time * r.compress_ms +
+            weights.decompress_time * r.decompress_ms +
+            weights.upload_time * r.upload_ms +
+            weights.download_time * r.download_ms +
+            weights.ram * (r.ram_used_bytes / 1024.0);
+      } else {
+        e = weights.compress_time * norm(r.compress_ms, max_c) +
+            weights.decompress_time * norm(r.decompress_ms, max_d) +
+            weights.upload_time * norm(r.upload_ms, max_u) +
+            weights.download_time * norm(r.download_ms, max_dl) +
+            weights.ram * norm(r.ram_used_bytes, max_r);
+      }
+      cell.scores[a] = e;
+      if (e < best) {
+        best = e;
+        cell.winner = static_cast<int>(a);
+      }
+    }
+    cells.push_back(std::move(cell));
+  }
+  return cells;
+}
+
+std::vector<std::size_t> winner_histogram(
+    const std::vector<LabeledCell>& cells, std::size_t n_algorithms) {
+  std::vector<std::size_t> hist(n_algorithms, 0);
+  for (const auto& c : cells) ++hist[static_cast<std::size_t>(c.winner)];
+  return hist;
+}
+
+}  // namespace dnacomp::core

@@ -1,0 +1,170 @@
+#include "core/measurement.h"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/check.h"
+#include "util/csv.h"
+#include "util/memory_tracker.h"
+#include "util/timer.h"
+
+namespace dnacomp::core {
+
+RealCostOracle::RealCostOracle(RealCostOracleOptions opts)
+    : opts_(std::move(opts)) {
+  if (!opts_.cache_path.empty()) load_cache();
+}
+
+RealCostOracle::~RealCostOracle() {
+  if (!opts_.cache_path.empty()) save_cache();
+}
+
+std::string RealCostOracle::key_of(const sequence::CorpusFile& file,
+                                   const std::string& algo) const {
+  // FNV-1a over the content so regenerated corpora never alias old entries.
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : file.data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  std::ostringstream os;
+  os << opts_.cache_tag << '|' << file.name << '|' << file.data.size() << '|'
+     << h << '|' << algo;
+  return os.str();
+}
+
+void RealCostOracle::load_cache() {
+  std::ifstream is(opts_.cache_path, std::ios::binary);
+  if (!is.good()) return;  // cold cache is fine
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  for (const auto& row : util::parse_csv(buf.str())) {
+    if (row.size() != 6) continue;
+    MeasuredCosts c;
+    try {
+      c.compress_ms = std::stod(row[1]);
+      c.decompress_ms = std::stod(row[2]);
+      c.original_bytes = std::stoull(row[3]);
+      c.compressed_bytes = std::stoull(row[4]);
+      c.peak_ram_bytes = std::stoull(row[5]);
+    } catch (const std::exception&) {
+      continue;  // skip malformed rows
+    }
+    cache_[row[0]] = c;
+  }
+}
+
+void RealCostOracle::save_cache() const {
+  std::lock_guard lk(mu_);
+  std::ofstream os(opts_.cache_path, std::ios::binary);
+  if (!os.good()) return;
+  util::CsvWriter w(os);
+  for (const auto& [key, c] : cache_) {
+    w.field(key)
+        .field(c.compress_ms)
+        .field(c.decompress_ms)
+        .field(std::uint64_t{c.original_bytes})
+        .field(std::uint64_t{c.compressed_bytes})
+        .field(std::uint64_t{c.peak_ram_bytes});
+    w.end_row();
+  }
+}
+
+MeasuredCosts RealCostOracle::measure(const sequence::CorpusFile& file,
+                                      const std::string& algo) {
+  const std::string key = key_of(file, algo);
+  {
+    std::lock_guard lk(mu_);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      ++hits_;
+      return it->second;
+    }
+    ++misses_;
+  }
+
+  auto compressor = compressors::make_compressor(algo);
+  DC_CHECK_MSG(compressor != nullptr, "unknown compressor: " + algo);
+
+  const std::size_t reps =
+      file.data.size() < opts_.repeats_below_bytes ? opts_.repeats : 1;
+
+  MeasuredCosts costs;
+  costs.original_bytes = file.data.size();
+  double best_comp = 1e300, best_dec = 1e300;
+  std::vector<std::uint8_t> compressed;
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    util::TrackingResource mem;
+    util::Stopwatch sw;
+    compressed = compressor->compress_str(file.data, &mem);
+    best_comp = std::min(best_comp, sw.elapsed_ms());
+    costs.peak_ram_bytes = mem.peak_bytes();
+    sw.reset();
+    const auto restored = compressor->decompress_str(compressed, nullptr);
+    best_dec = std::min(best_dec, sw.elapsed_ms());
+    if (opts_.verify_round_trip && restored != file.data) {
+      throw std::runtime_error("round-trip failure: " + algo + " on " +
+                               file.name);
+    }
+  }
+  costs.compress_ms = best_comp;
+  costs.decompress_ms = best_dec;
+  costs.compressed_bytes = compressed.size();
+
+  std::lock_guard lk(mu_);
+  cache_[key] = costs;
+  return costs;
+}
+
+MeasuredCosts AnalyticCostOracle::measure(const sequence::CorpusFile& file,
+                                          const std::string& algo) {
+  // Constants calibrated against the real implementations on the reference
+  // host (see EXPERIMENTS.md). Times in ms, sizes in bytes.
+  const auto n = static_cast<double>(file.data.size());
+  const double mb = n / (1024.0 * 1024.0);
+  MeasuredCosts c;
+  c.original_bytes = file.data.size();
+
+  auto size_from_bpc = [&](double bpc) {
+    return static_cast<std::size_t>(n * bpc / 8.0) + 8;
+  };
+
+  if (algo == "ctw") {
+    c.compress_ms = 1650.0 * mb + 0.05;
+    c.decompress_ms = 1650.0 * mb + 0.05;
+    c.compressed_bytes = size_from_bpc(1.86);
+    c.peak_ram_bytes = std::min<std::size_t>(
+        std::size_t{96} << 20, static_cast<std::size_t>(n * 120.0) + 65536);
+  } else if (algo == "dnax") {
+    c.compress_ms = 72.0 * mb + 0.2;
+    c.decompress_ms = 21.0 * mb + 0.02;
+    c.compressed_bytes = size_from_bpc(1.84);
+    c.peak_ram_bytes = (std::size_t{4} << 20) +
+                       static_cast<std::size_t>(n);
+  } else if (algo == "gencompress") {
+    c.compress_ms = 9.1 * std::pow(n / 51200.0, 1.85) + 0.3;
+    c.decompress_ms = 20.0 * mb + 0.02;
+    c.compressed_bytes = size_from_bpc(1.63);
+    c.peak_ram_bytes = (std::size_t{8} << 20) +
+                       static_cast<std::size_t>(n * 5.0);
+  } else if (algo == "gzip") {
+    c.compress_ms = 310.0 * mb + 0.05;
+    c.decompress_ms = 9.0 * mb + 0.01;
+    c.compressed_bytes = size_from_bpc(2.24);
+    c.peak_ram_bytes = (std::size_t{1} << 19) +
+                       static_cast<std::size_t>(n / 4.0);
+  } else if (algo == "bio2") {
+    c.compress_ms = 24.0 * mb + 0.2;
+    c.decompress_ms = 20.0 * mb + 0.02;
+    c.compressed_bytes = size_from_bpc(1.93);
+    c.peak_ram_bytes = (std::size_t{4} << 20) +
+                       static_cast<std::size_t>(n);
+  } else {
+    throw std::invalid_argument("AnalyticCostOracle: unknown algo " + algo);
+  }
+  return c;
+}
+
+}  // namespace dnacomp::core

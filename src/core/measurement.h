@@ -1,0 +1,86 @@
+// Per-(file, algorithm) base measurements and the oracles that produce them.
+//
+// The paper measures each algorithm on each file once per physical setup and
+// derives per-context numbers by varying the VM. We measure once on the host
+// (RealCostOracle, optionally disk-cached) and let the TransferModel rescale
+// into each context. AnalyticCostOracle is a deterministic stand-in for unit
+// tests so they do not depend on wall-clock noise.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "compressors/compressor.h"
+#include "sequence/corpus.h"
+
+namespace dnacomp::core {
+
+struct MeasuredCosts {
+  double compress_ms = 0.0;    // on the reference host
+  double decompress_ms = 0.0;  // on the reference host
+  std::size_t original_bytes = 0;
+  std::size_t compressed_bytes = 0;
+  std::size_t peak_ram_bytes = 0;  // compressor working set
+};
+
+class CostOracle {
+ public:
+  virtual ~CostOracle() = default;
+  // algo is a registry name ("ctw", "dnax", "gencompress", "gzip", "bio2").
+  virtual MeasuredCosts measure(const sequence::CorpusFile& file,
+                                const std::string& algo) = 0;
+};
+
+struct RealCostOracleOptions {
+  // Repeat tiny runs so timings are not pure jitter; files above the
+  // threshold are measured once.
+  std::size_t repeats_below_bytes = 65'536;
+  std::size_t repeats = 3;
+  // Optional CSV cache path ("" disables). Keyed by (cache_tag, file name,
+  // size, generator seed, algo). Bump the tag when compressor defaults
+  // change so stale measurements are not reused.
+  std::string cache_path;
+  std::string cache_tag = "v2";
+  bool verify_round_trip = true;
+};
+
+// Runs the real compressors. Thread-safe (each call builds its own
+// compressor instance). Writes the cache back on save().
+class RealCostOracle final : public CostOracle {
+ public:
+  explicit RealCostOracle(RealCostOracleOptions opts = {});
+  ~RealCostOracle() override;
+
+  MeasuredCosts measure(const sequence::CorpusFile& file,
+                        const std::string& algo) override;
+
+  void save_cache() const;
+  std::size_t cache_hits() const noexcept { return hits_; }
+  std::size_t cache_misses() const noexcept { return misses_; }
+
+ private:
+  std::string key_of(const sequence::CorpusFile& file,
+                     const std::string& algo) const;
+  void load_cache();
+
+  RealCostOracleOptions opts_;
+  std::map<std::string, MeasuredCosts> cache_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+  mutable std::mutex mu_;
+};
+
+// Deterministic cost formulas calibrated against the real implementations'
+// behaviour on this corpus (speeds in ms per MB at the reference clock,
+// superlinear exponent for GenCompress, flat vs scaling RAM). Used by unit
+// tests and the noise ablation.
+class AnalyticCostOracle final : public CostOracle {
+ public:
+  MeasuredCosts measure(const sequence::CorpusFile& file,
+                        const std::string& algo) override;
+};
+
+}  // namespace dnacomp::core

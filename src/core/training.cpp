@@ -1,0 +1,100 @@
+#include "core/training.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace dnacomp::core {
+
+std::string method_name(Method m) {
+  return m == Method::kChaid ? "CHAID" : "CART";
+}
+
+std::vector<double> cell_features(const LabeledCell& cell) {
+  return {cell.context.ram_gb, cell.context.cpu_ghz,
+          cell.context.bandwidth_mbps,
+          static_cast<double>(cell.file_bytes) / 1024.0};
+}
+
+TrainTestTables make_tables(const std::vector<LabeledCell>& cells,
+                            const std::vector<std::string>& algorithms,
+                            const std::vector<std::size_t>& test_files) {
+  TrainTestTables t{ml::DataTable(feature_names(), algorithms),
+                    ml::DataTable(feature_names(), algorithms),
+                    {}};
+  auto sorted_test = test_files;
+  std::sort(sorted_test.begin(), sorted_test.end());
+  for (const auto& cell : cells) {
+    const auto features = cell_features(cell);
+    if (std::binary_search(sorted_test.begin(), sorted_test.end(),
+                           cell.file_index)) {
+      t.test.add_row(features, cell.winner);
+      t.test_cells.push_back(&cell);
+    } else {
+      t.train.add_row(features, cell.winner);
+    }
+  }
+  DC_CHECK(t.train.n_rows() > 0);
+  DC_CHECK(t.test.n_rows() > 0);
+  return t;
+}
+
+FitResult fit_and_evaluate(Method method, const TrainTestTables& tables,
+                           ml::ChaidParams chaid_params,
+                           ml::CartParams cart_params) {
+  FitResult r;
+  if (method == Method::kChaid) {
+    r.model = ml::ChaidClassifier::fit(tables.train, chaid_params);
+  } else {
+    r.model = ml::CartClassifier::fit(tables.train, cart_params);
+  }
+  r.eval = ml::evaluate(*r.model, tables.test);
+  return r;
+}
+
+std::vector<AccuracyEntry> accuracy_sweep(
+    const std::vector<ExperimentRow>& rows,
+    const std::vector<std::string>& algorithms,
+    const std::vector<WeightSpec>& weight_specs,
+    const std::vector<std::size_t>& test_files) {
+  std::vector<AccuracyEntry> entries;
+  entries.reserve(weight_specs.size() * 2);
+  for (const auto& weights : weight_specs) {
+    const auto cells = label_cells(rows, algorithms, weights);
+    const auto tables = make_tables(cells, algorithms, test_files);
+    for (const Method method : {Method::kCart, Method::kChaid}) {
+      AccuracyEntry e;
+      e.method = method;
+      e.weights = weights;
+      const auto fit = fit_and_evaluate(method, tables);
+      e.accuracy = fit.eval.accuracy();
+      e.matched = fit.eval.matched;
+      e.total = fit.eval.total;
+      entries.push_back(std::move(e));
+    }
+  }
+  return entries;
+}
+
+std::vector<WeightSpec> table2_weight_specs() {
+  return {
+      WeightSpec::ram_only(),
+      WeightSpec::total_time(),
+      WeightSpec::compression_time_only(),
+      WeightSpec::ram_time(0.60, 0.40),
+      WeightSpec::ram_time(0.40, 0.60),
+      WeightSpec::ram_time(0.70, 0.30),
+      WeightSpec::ram_time(0.30, 0.70),
+      WeightSpec::ram_time(0.80, 0.20),
+      WeightSpec::ram_time(0.20, 0.80),
+      WeightSpec::ram_time(0.90, 0.10),
+      WeightSpec::ram_time(0.10, 0.90),
+      WeightSpec::ram_compression(0.50, 0.50),
+      WeightSpec::ram_comp_upload(1.0 / 3, 1.0 / 3, 1.0 / 3),
+      WeightSpec::ram_comp_upload(0.20, 0.40, 0.40),
+      WeightSpec::ram_comp_upload(0.40, 0.40, 0.20),
+      WeightSpec::ram_comp_upload(0.40, 0.50, 0.10),
+  };
+}
+
+}  // namespace dnacomp::core

@@ -1,0 +1,69 @@
+// Training pipeline: labeled cells -> feature tables -> CHAID/CART models ->
+// validation accuracy. Features are the paper's context variables (available
+// RAM, CPU speed, bandwidth, file size); the label is the winning algorithm.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/labeling.h"
+#include "ml/cart.h"
+#include "ml/chaid.h"
+#include "ml/metrics.h"
+
+namespace dnacomp::core {
+
+enum class Method { kChaid, kCart };
+
+std::string method_name(Method m);
+
+// Feature vector for one cell: {ram_gb, cpu_ghz, bandwidth_mbps, file_kb}.
+std::vector<double> cell_features(const LabeledCell& cell);
+inline const std::vector<std::string>& feature_names() {
+  static const std::vector<std::string> names = {"ram_gb", "cpu_ghz",
+                                                 "bandwidth_mbps", "file_kb"};
+  return names;
+}
+
+// Split labeled cells into train/test tables by corpus file index (the
+// paper separates 25 % of files up front; every 4th file is a test file).
+struct TrainTestTables {
+  ml::DataTable train;
+  ml::DataTable test;
+  std::vector<const LabeledCell*> test_cells;  // aligned with test rows
+};
+TrainTestTables make_tables(const std::vector<LabeledCell>& cells,
+                            const std::vector<std::string>& algorithms,
+                            const std::vector<std::size_t>& test_files);
+
+struct FitResult {
+  std::unique_ptr<ml::Classifier> model;
+  ml::Evaluation eval;
+};
+
+FitResult fit_and_evaluate(Method method, const TrainTestTables& tables,
+                           ml::ChaidParams chaid_params = {},
+                           ml::CartParams cart_params = {});
+
+// One Table 2 row: method + weights -> validation accuracy.
+struct AccuracyEntry {
+  Method method;
+  WeightSpec weights;
+  double accuracy = 0.0;
+  std::size_t matched = 0;
+  std::size_t total = 0;
+};
+
+// Run the full (weights × method) sweep of Table 2 over pre-computed
+// experiment rows.
+std::vector<AccuracyEntry> accuracy_sweep(
+    const std::vector<ExperimentRow>& rows,
+    const std::vector<std::string>& algorithms,
+    const std::vector<WeightSpec>& weight_specs,
+    const std::vector<std::size_t>& test_files);
+
+// The weight grid of Table 2, in the paper's order.
+std::vector<WeightSpec> table2_weight_specs();
+
+}  // namespace dnacomp::core

@@ -1,0 +1,161 @@
+#include "ml/cart.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace dnacomp::ml {
+
+double CartClassifier::gini(std::span<const std::size_t> counts) {
+  double total = 0.0;
+  for (const auto c : counts) total += static_cast<double>(c);
+  if (total <= 0.0) return 0.0;
+  double sum_sq = 0.0;
+  for (const auto c : counts) {
+    const double p = static_cast<double>(c) / total;
+    sum_sq += p * p;
+  }
+  return 1.0 - sum_sq;
+}
+
+CartClassifier::CartClassifier(const DataTable& data, CartParams params)
+    : data_(&data),
+      params_(params),
+      feature_names_(data.feature_names()),
+      class_names_(data.class_names()) {}
+
+std::unique_ptr<CartClassifier> CartClassifier::fit(const DataTable& data,
+                                                    CartParams params) {
+  DC_CHECK(data.n_rows() > 0);
+  auto model = std::unique_ptr<CartClassifier>(
+      new CartClassifier(data, params));
+  auto rows = data.all_rows();
+  model->build(rows, 0);
+  model->data_ = nullptr;
+  return model;
+}
+
+int CartClassifier::build(std::vector<std::size_t>& rows, std::size_t depth) {
+  const DataTable& data = *data_;
+  const int node_idx = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[node_idx].prediction = data.majority_class(rows);
+  nodes_[node_idx].n_rows = rows.size();
+
+  const auto counts = data.class_counts(rows);
+  const double parent_gini = gini(counts);
+  if (depth >= params_.max_depth || rows.size() < params_.min_node_size ||
+      parent_gini <= 0.0) {
+    return node_idx;
+  }
+
+  // Exhaustive threshold search per feature over the sorted column.
+  double best_gain = params_.min_impurity_decrease;
+  std::size_t best_feature = 0;
+  double best_threshold = 0.0;
+  bool found = false;
+
+  const auto n = static_cast<double>(rows.size());
+  std::vector<std::size_t> order;
+  for (std::size_t f = 0; f < data.n_features(); ++f) {
+    order = rows;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                return data.feature(a, f) < data.feature(b, f);
+              });
+    std::vector<std::size_t> left_counts(data.n_classes(), 0);
+    std::vector<std::size_t> right_counts = counts;
+    for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+      const auto cls = static_cast<std::size_t>(data.label(order[i]));
+      ++left_counts[cls];
+      --right_counts[cls];
+      const double v = data.feature(order[i], f);
+      const double v_next = data.feature(order[i + 1], f);
+      if (v_next <= v) continue;  // not a valid cut point
+      const std::size_t n_left = i + 1;
+      const std::size_t n_right = order.size() - n_left;
+      if (n_left < params_.min_child_size || n_right < params_.min_child_size)
+        continue;
+      const double gain =
+          parent_gini -
+          (static_cast<double>(n_left) / n) * gini(left_counts) -
+          (static_cast<double>(n_right) / n) * gini(right_counts);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = f;
+        best_threshold = (v + v_next) / 2.0;
+        found = true;
+      }
+    }
+  }
+  if (!found) return node_idx;
+
+  std::vector<std::size_t> left_rows, right_rows;
+  left_rows.reserve(rows.size());
+  right_rows.reserve(rows.size());
+  for (const auto r : rows) {
+    if (data.feature(r, best_feature) <= best_threshold) {
+      left_rows.push_back(r);
+    } else {
+      right_rows.push_back(r);
+    }
+  }
+  DC_CHECK(!left_rows.empty() && !right_rows.empty());
+
+  // Free the parent's copy before recursing to bound memory on deep trees.
+  rows.clear();
+  rows.shrink_to_fit();
+
+  nodes_[node_idx].is_leaf = false;
+  nodes_[node_idx].feature = best_feature;
+  nodes_[node_idx].threshold = best_threshold;
+  const int left = build(left_rows, depth + 1);
+  nodes_[node_idx].left = left;
+  const int right = build(right_rows, depth + 1);
+  nodes_[node_idx].right = right;
+  return node_idx;
+}
+
+int CartClassifier::predict(std::span<const double> features) const {
+  DC_CHECK(features.size() == feature_names_.size());
+  DC_CHECK(!nodes_.empty());
+  int idx = 0;
+  while (!nodes_[static_cast<std::size_t>(idx)].is_leaf) {
+    const Node& n = nodes_[static_cast<std::size_t>(idx)];
+    idx = features[n.feature] <= n.threshold ? n.left : n.right;
+  }
+  return nodes_[static_cast<std::size_t>(idx)].prediction;
+}
+
+std::size_t CartClassifier::leaf_count() const {
+  std::size_t k = 0;
+  for (const auto& n : nodes_)
+    if (n.is_leaf) ++k;
+  return k;
+}
+
+void CartClassifier::collect_rules(int node, std::string prefix,
+                                   std::vector<std::string>& out) const {
+  const Node& n = nodes_[static_cast<std::size_t>(node)];
+  if (n.is_leaf) {
+    out.push_back("IF " + (prefix.empty() ? "TRUE" : prefix) + " THEN " +
+                  class_names_[static_cast<std::size_t>(n.prediction)]);
+    return;
+  }
+  char cond[96];
+  const std::string& fname = feature_names_[n.feature];
+  const std::string sep = prefix.empty() ? "" : " AND ";
+  std::snprintf(cond, sizeof cond, "%s <= %.6g", fname.c_str(), n.threshold);
+  collect_rules(n.left, prefix + sep + cond, out);
+  std::snprintf(cond, sizeof cond, "%s > %.6g", fname.c_str(), n.threshold);
+  collect_rules(n.right, prefix + sep + cond, out);
+}
+
+std::vector<std::string> CartClassifier::rules() const {
+  std::vector<std::string> out;
+  collect_rules(0, "", out);
+  return out;
+}
+
+}  // namespace dnacomp::ml

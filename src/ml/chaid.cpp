@@ -1,0 +1,251 @@
+#include "ml/chaid.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "ml/chi2.h"
+#include "util/check.h"
+
+namespace dnacomp::ml {
+namespace {
+
+// Class histogram per category group.
+std::vector<std::vector<std::size_t>> group_table(
+    const DataTable& data, const std::vector<std::size_t>& rows,
+    const std::vector<std::size_t>& row_bins,
+    const std::vector<std::vector<std::size_t>>& groups) {
+  std::vector<std::vector<std::size_t>> table(
+      groups.size(), std::vector<std::size_t>(data.n_classes(), 0));
+  // bin -> group index
+  std::size_t max_bin = 0;
+  for (const auto& g : groups)
+    for (const auto b : g) max_bin = std::max(max_bin, b);
+  std::vector<int> group_of(max_bin + 1, -1);
+  for (std::size_t gi = 0; gi < groups.size(); ++gi)
+    for (const auto b : groups[gi]) group_of[b] = static_cast<int>(gi);
+
+  for (const auto r : rows) {
+    const std::size_t b = row_bins[r];
+    if (b < group_of.size() && group_of[b] >= 0) {
+      ++table[static_cast<std::size_t>(group_of[b])]
+             [static_cast<std::size_t>(data.label(r))];
+    }
+  }
+  return table;
+}
+
+std::size_t group_total(const std::vector<std::size_t>& class_counts) {
+  std::size_t total = 0;
+  for (const auto c : class_counts) total += c;
+  return total;
+}
+
+}  // namespace
+
+double ChaidClassifier::log_bonferroni_ordinal(std::size_t c, std::size_t r) {
+  DC_CHECK(r >= 1 && r <= c);
+  // log C(c-1, r-1)
+  return std::lgamma(static_cast<double>(c)) -
+         std::lgamma(static_cast<double>(r)) -
+         std::lgamma(static_cast<double>(c - r + 1));
+}
+
+std::unique_ptr<ChaidClassifier> ChaidClassifier::fit(const DataTable& data,
+                                                      ChaidParams params) {
+  DC_CHECK(data.n_rows() > 0);
+  auto model = std::unique_ptr<ChaidClassifier>(new ChaidClassifier());
+  model->feature_names_ = data.feature_names();
+  model->class_names_ = data.class_names();
+
+  // Discretize each feature once, globally.
+  model->discretizers_.reserve(data.n_features());
+  std::vector<std::vector<std::size_t>> bins(
+      data.n_features(), std::vector<std::size_t>(data.n_rows()));
+  for (std::size_t f = 0; f < data.n_features(); ++f) {
+    std::vector<double> column(data.n_rows());
+    for (std::size_t r = 0; r < data.n_rows(); ++r)
+      column[r] = data.feature(r, f);
+    model->discretizers_.push_back(Discretizer::fit(column, params.max_bins));
+    for (std::size_t r = 0; r < data.n_rows(); ++r)
+      bins[f][r] = model->discretizers_.back().bin_of(column[r]);
+  }
+
+  auto rows = data.all_rows();
+  model->build(data, bins, rows, 0, params);
+  return model;
+}
+
+int ChaidClassifier::build(const DataTable& data,
+                           const std::vector<std::vector<std::size_t>>& bins,
+                           std::vector<std::size_t>& rows, std::size_t depth,
+                           ChaidParams params) {
+  const int node_idx = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[node_idx].prediction = data.majority_class(rows);
+  nodes_[node_idx].n_rows = rows.size();
+
+  const auto counts = data.class_counts(rows);
+  const bool pure =
+      std::count_if(counts.begin(), counts.end(),
+                    [](std::size_t c) { return c > 0; }) <= 1;
+  if (depth >= params.max_depth || rows.size() < params.min_node_size ||
+      pure) {
+    return node_idx;
+  }
+
+  double best_log_adj_p = std::log(params.split_alpha);  // must beat this
+  std::size_t best_feature = 0;
+  std::vector<std::vector<std::size_t>> best_groups;
+  bool found = false;
+
+  for (std::size_t f = 0; f < data.n_features(); ++f) {
+    // Start: one group per category present in this node, ordinal order.
+    const std::size_t n_bins = discretizers_[f].bin_count();
+    std::vector<std::size_t> present_count(n_bins, 0);
+    for (const auto r : rows) ++present_count[bins[f][r]];
+    std::vector<std::vector<std::size_t>> groups;
+    for (std::size_t b = 0; b < n_bins; ++b) {
+      if (present_count[b] > 0) groups.push_back({b});
+    }
+    const std::size_t original_groups = groups.size();
+    if (original_groups < 2) continue;
+
+    // Merge adjacent groups while the least-significant pair is above
+    // merge_alpha, or a group is below the minimum child size.
+    for (;;) {
+      if (groups.size() < 2) break;
+      auto table = group_table(data, rows, bins[f], groups);
+      double worst_p = -1.0;
+      std::size_t worst_pair = 0;
+      bool size_forced = false;
+      for (std::size_t g = 0; g + 1 < groups.size(); ++g) {
+        if (group_total(table[g]) < params.min_child_size ||
+            group_total(table[g + 1]) < params.min_child_size) {
+          worst_pair = g;
+          size_forced = true;
+          break;
+        }
+        const Chi2Result pair =
+            chi2_test({table[g], table[g + 1]});
+        if (pair.p_value > worst_p) {
+          worst_p = pair.p_value;
+          worst_pair = g;
+        }
+      }
+      if (!size_forced && worst_p <= params.merge_alpha) break;
+      // Merge worst_pair with its right neighbour.
+      auto& left = groups[worst_pair];
+      auto& right = groups[worst_pair + 1];
+      left.insert(left.end(), right.begin(), right.end());
+      groups.erase(groups.begin() +
+                   static_cast<std::ptrdiff_t>(worst_pair + 1));
+    }
+    if (groups.size() < 2) continue;
+
+    const auto table = group_table(data, rows, bins[f], groups);
+    const Chi2Result res = chi2_test(table);
+    if (res.df == 0) continue;
+    const double log_adj_p =
+        std::log(std::max(res.p_value, 1e-300)) +
+        log_bonferroni_ordinal(original_groups, groups.size());
+    if (log_adj_p < best_log_adj_p) {
+      best_log_adj_p = log_adj_p;
+      best_feature = f;
+      best_groups = groups;
+      found = true;
+    }
+  }
+  if (!found) return node_idx;
+
+  // Partition rows by group and recurse.
+  std::size_t max_bin = 0;
+  for (const auto& g : best_groups)
+    for (const auto b : g) max_bin = std::max(max_bin, b);
+  std::vector<int> group_of(max_bin + 1, -1);
+  for (std::size_t gi = 0; gi < best_groups.size(); ++gi)
+    for (const auto b : best_groups[gi]) group_of[b] = static_cast<int>(gi);
+
+  std::vector<std::vector<std::size_t>> child_rows(best_groups.size());
+  for (const auto r : rows) {
+    const std::size_t b = bins[best_feature][r];
+    if (b < group_of.size() && group_of[b] >= 0) {
+      child_rows[static_cast<std::size_t>(group_of[b])].push_back(r);
+    }
+  }
+  rows.clear();
+  rows.shrink_to_fit();
+
+  nodes_[node_idx].is_leaf = false;
+  nodes_[node_idx].feature = best_feature;
+  // Sort each group's bins for stable rule text.
+  for (auto& g : best_groups) std::sort(g.begin(), g.end());
+  nodes_[node_idx].groups = best_groups;
+  nodes_[node_idx].children.resize(best_groups.size());
+  for (std::size_t gi = 0; gi < best_groups.size(); ++gi) {
+    const int child = build(data, bins, child_rows[gi], depth + 1, params);
+    nodes_[node_idx].children[gi] = child;
+  }
+  return node_idx;
+}
+
+int ChaidClassifier::predict(std::span<const double> features) const {
+  DC_CHECK(features.size() == feature_names_.size());
+  DC_CHECK(!nodes_.empty());
+  int idx = 0;
+  for (;;) {
+    const Node& n = nodes_[static_cast<std::size_t>(idx)];
+    if (n.is_leaf) return n.prediction;
+    const std::size_t b = discretizers_[n.feature].bin_of(features[n.feature]);
+    int next = -1;
+    for (std::size_t gi = 0; gi < n.groups.size(); ++gi) {
+      if (std::binary_search(n.groups[gi].begin(), n.groups[gi].end(), b)) {
+        next = n.children[gi];
+        break;
+      }
+    }
+    if (next < 0) {
+      // Category unseen at this node during training (possible on test
+      // data): fall back to the node's majority class. These are the "gaps"
+      // the paper's validation charts show.
+      return n.prediction;
+    }
+    idx = next;
+  }
+}
+
+std::size_t ChaidClassifier::leaf_count() const {
+  std::size_t k = 0;
+  for (const auto& n : nodes_)
+    if (n.is_leaf) ++k;
+  return k;
+}
+
+void ChaidClassifier::collect_rules(int node, std::string prefix,
+                                    std::vector<std::string>& out) const {
+  const Node& n = nodes_[static_cast<std::size_t>(node)];
+  if (n.is_leaf) {
+    out.push_back("IF " + (prefix.empty() ? "TRUE" : prefix) + " THEN " +
+                  class_names_[static_cast<std::size_t>(n.prediction)]);
+    return;
+  }
+  const std::string& fname = feature_names_[n.feature];
+  const std::string sep = prefix.empty() ? "" : " AND ";
+  for (std::size_t gi = 0; gi < n.groups.size(); ++gi) {
+    std::string cond = fname + " IN {";
+    for (std::size_t i = 0; i < n.groups[gi].size(); ++i) {
+      if (i > 0) cond += ", ";
+      cond += discretizers_[n.feature].bin_label(n.groups[gi][i]);
+    }
+    cond += "}";
+    collect_rules(n.children[gi], prefix + sep + cond, out);
+  }
+}
+
+std::vector<std::string> ChaidClassifier::rules() const {
+  std::vector<std::string> out;
+  collect_rules(0, "", out);
+  return out;
+}
+
+}  // namespace dnacomp::ml

@@ -1,0 +1,65 @@
+// CHAID (Chi-squared Automatic Interaction Detector, Kass 1980): multiway
+// splits on ordinal categorical predictors. Numeric features are first
+// discretized; at each node, adjacent categories of each predictor are
+// merged while the pairwise chi-squared test is insignificant, then the
+// predictor with the smallest Bonferroni-adjusted p-value splits the node
+// into one child per merged category group.
+#pragma once
+
+#include <memory>
+
+#include "ml/discretizer.h"
+#include "ml/tree.h"
+
+namespace dnacomp::ml {
+
+struct ChaidParams {
+  std::size_t max_depth = 8;
+  std::size_t min_node_size = 16;   // don't split smaller nodes
+  std::size_t min_child_size = 4;   // groups smaller than this get merged
+  double merge_alpha = 0.05;        // keep merging while pairwise p > this
+  double split_alpha = 0.05;        // split only if adjusted p <= this
+  std::size_t max_bins = 8;         // discretization granularity
+};
+
+class ChaidClassifier final : public Classifier {
+ public:
+  static std::unique_ptr<ChaidClassifier> fit(const DataTable& data,
+                                              ChaidParams params = {});
+
+  int predict(std::span<const double> features) const override;
+  std::vector<std::string> rules() const override;
+  std::size_t node_count() const override { return nodes_.size(); }
+  std::size_t leaf_count() const override;
+  std::string method_name() const override { return "CHAID"; }
+
+  // log of the Bonferroni multiplier for merging c ordered categories into
+  // r groups: C(c-1, r-1). Exposed for tests.
+  static double log_bonferroni_ordinal(std::size_t c, std::size_t r);
+
+ private:
+  struct Node {
+    bool is_leaf = true;
+    int prediction = 0;
+    std::size_t feature = 0;
+    // Child i covers original category bins in groups[i] (sorted).
+    std::vector<std::vector<std::size_t>> groups;
+    std::vector<int> children;
+    std::size_t n_rows = 0;
+  };
+
+  ChaidClassifier() = default;
+  int build(const DataTable& data,
+            const std::vector<std::vector<std::size_t>>& bins,
+            std::vector<std::size_t>& rows, std::size_t depth,
+            ChaidParams params);
+  void collect_rules(int node, std::string prefix,
+                     std::vector<std::string>& out) const;
+
+  std::vector<Node> nodes_;
+  std::vector<Discretizer> discretizers_;  // one per feature
+  std::vector<std::string> feature_names_;
+  std::vector<std::string> class_names_;
+};
+
+}  // namespace dnacomp::ml

@@ -1,0 +1,104 @@
+#include "ml/chi2.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace dnacomp::ml {
+namespace {
+
+// Regularized lower incomplete gamma P(a,x) by series expansion (x < a+1).
+double gamma_p_series(double a, double x) {
+  double ap = a;
+  double sum = 1.0 / a;
+  double del = sum;
+  for (int i = 0; i < 500; ++i) {
+    ap += 1.0;
+    del *= x / ap;
+    sum += del;
+    if (std::fabs(del) < std::fabs(sum) * 1e-15) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+// Regularized upper incomplete gamma Q(a,x) by continued fraction (x >= a+1).
+double gamma_q_cf(double a, double x) {
+  const double tiny = std::numeric_limits<double>::min() / 1e-30;
+  double b = x + 1.0 - a;
+  double c = 1.0 / tiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= 500; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < tiny) d = tiny;
+    c = b + an / c;
+    if (std::fabs(c) < tiny) c = tiny;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < 1e-15) break;
+  }
+  return h * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+}  // namespace
+
+double gamma_q(double a, double x) {
+  DC_CHECK(a > 0.0 && x >= 0.0);
+  if (x == 0.0) return 1.0;
+  if (x < a + 1.0) return 1.0 - gamma_p_series(a, x);
+  return gamma_q_cf(a, x);
+}
+
+double chi2_sf(double x, std::size_t df) {
+  if (df == 0) return 1.0;
+  if (x <= 0.0) return 1.0;
+  return gamma_q(static_cast<double>(df) / 2.0, x / 2.0);
+}
+
+Chi2Result chi2_test(const std::vector<std::vector<std::size_t>>& table) {
+  Chi2Result res;
+  if (table.empty()) return res;
+  const std::size_t n_cols = table[0].size();
+
+  std::vector<double> row_sum(table.size(), 0.0);
+  std::vector<double> col_sum(n_cols, 0.0);
+  double total = 0.0;
+  for (std::size_t r = 0; r < table.size(); ++r) {
+    DC_CHECK_MSG(table[r].size() == n_cols, "ragged contingency table");
+    for (std::size_t c = 0; c < n_cols; ++c) {
+      const auto v = static_cast<double>(table[r][c]);
+      row_sum[r] += v;
+      col_sum[c] += v;
+      total += v;
+    }
+  }
+  if (total <= 0.0) return res;
+
+  std::size_t active_rows = 0, active_cols = 0;
+  for (const double v : row_sum)
+    if (v > 0.0) ++active_rows;
+  for (const double v : col_sum)
+    if (v > 0.0) ++active_cols;
+  if (active_rows < 2 || active_cols < 2) return res;
+
+  double stat = 0.0;
+  for (std::size_t r = 0; r < table.size(); ++r) {
+    if (row_sum[r] <= 0.0) continue;
+    for (std::size_t c = 0; c < n_cols; ++c) {
+      if (col_sum[c] <= 0.0) continue;
+      const double expected = row_sum[r] * col_sum[c] / total;
+      const double diff = static_cast<double>(table[r][c]) - expected;
+      stat += diff * diff / expected;
+    }
+  }
+  res.statistic = stat;
+  res.df = (active_rows - 1) * (active_cols - 1);
+  res.p_value = chi2_sf(stat, res.df);
+  return res;
+}
+
+}  // namespace dnacomp::ml

@@ -1,0 +1,27 @@
+// Chi-squared statistics for CHAID: Pearson statistic over a contingency
+// table and its p-value via the regularized upper incomplete gamma function.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace dnacomp::ml {
+
+// Rows = predictor categories, cols = classes. Cells are counts.
+// Rows/columns that are entirely zero are ignored for the df computation.
+struct Chi2Result {
+  double statistic = 0.0;
+  std::size_t df = 0;
+  double p_value = 1.0;
+};
+
+Chi2Result chi2_test(const std::vector<std::vector<std::size_t>>& table);
+
+// P(X >= x) for X ~ chi-squared with df degrees of freedom.
+double chi2_sf(double x, std::size_t df);
+
+// Regularized upper incomplete gamma Q(a, x); used by chi2_sf and exposed
+// for tests.
+double gamma_q(double a, double x);
+
+}  // namespace dnacomp::ml

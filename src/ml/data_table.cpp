@@ -1,0 +1,58 @@
+#include "ml/data_table.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace dnacomp::ml {
+
+DataTable::DataTable(std::vector<std::string> feature_names,
+                     std::vector<std::string> class_names)
+    : feature_names_(std::move(feature_names)),
+      class_names_(std::move(class_names)) {
+  DC_CHECK(!feature_names_.empty());
+  DC_CHECK(class_names_.size() >= 2);
+}
+
+void DataTable::add_row(std::span<const double> features, int label) {
+  DC_CHECK(features.size() == feature_names_.size());
+  DC_CHECK(label >= 0 && static_cast<std::size_t>(label) < class_names_.size());
+  features_.insert(features_.end(), features.begin(), features.end());
+  labels_.push_back(label);
+}
+
+double DataTable::feature(std::size_t row, std::size_t col) const {
+  DC_CHECK(row < n_rows() && col < n_features());
+  return features_[row * n_features() + col];
+}
+
+int DataTable::label(std::size_t row) const {
+  DC_CHECK(row < n_rows());
+  return labels_[row];
+}
+
+std::span<const double> DataTable::row(std::size_t r) const {
+  DC_CHECK(r < n_rows());
+  return {&features_[r * n_features()], n_features()};
+}
+
+std::vector<std::size_t> DataTable::class_counts(
+    std::span<const std::size_t> rows) const {
+  std::vector<std::size_t> counts(n_classes(), 0);
+  for (const auto r : rows) ++counts[static_cast<std::size_t>(label(r))];
+  return counts;
+}
+
+int DataTable::majority_class(std::span<const std::size_t> rows) const {
+  const auto counts = class_counts(rows);
+  return static_cast<int>(
+      std::max_element(counts.begin(), counts.end()) - counts.begin());
+}
+
+std::vector<std::size_t> DataTable::all_rows() const {
+  std::vector<std::size_t> rows(n_rows());
+  for (std::size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+  return rows;
+}
+
+}  // namespace dnacomp::ml

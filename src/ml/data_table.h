@@ -1,0 +1,53 @@
+// Tabular dataset for the decision-tree learners: numeric feature matrix
+// plus a categorical label column. The experiment runner produces one row
+// per (file, context) cell with features {RAM, CPU, bandwidth, file size}
+// and the winning algorithm as the label (paper §IV-C/D).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace dnacomp::ml {
+
+class DataTable {
+ public:
+  DataTable(std::vector<std::string> feature_names,
+            std::vector<std::string> class_names);
+
+  void add_row(std::span<const double> features, int label);
+
+  std::size_t n_rows() const noexcept { return labels_.size(); }
+  std::size_t n_features() const noexcept { return feature_names_.size(); }
+  std::size_t n_classes() const noexcept { return class_names_.size(); }
+
+  double feature(std::size_t row, std::size_t col) const;
+  int label(std::size_t row) const;
+  std::span<const double> row(std::size_t r) const;
+
+  const std::vector<std::string>& feature_names() const noexcept {
+    return feature_names_;
+  }
+  const std::vector<std::string>& class_names() const noexcept {
+    return class_names_;
+  }
+
+  // Class histogram over a subset of row indices.
+  std::vector<std::size_t> class_counts(
+      std::span<const std::size_t> rows) const;
+
+  // Majority class over a subset (ties break to the lower index).
+  int majority_class(std::span<const std::size_t> rows) const;
+
+  // All row indices, in order.
+  std::vector<std::size_t> all_rows() const;
+
+ private:
+  std::vector<std::string> feature_names_;
+  std::vector<std::string> class_names_;
+  std::vector<double> features_;  // row-major
+  std::vector<int> labels_;
+};
+
+}  // namespace dnacomp::ml

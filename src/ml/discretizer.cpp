@@ -1,0 +1,64 @@
+#include "ml/discretizer.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace dnacomp::ml {
+
+Discretizer Discretizer::fit(std::span<const double> values,
+                             std::size_t max_bins) {
+  DC_CHECK(max_bins >= 2);
+  Discretizer d;
+  if (values.empty()) return d;
+
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+
+  if (sorted.size() <= max_bins) {
+    // One category per distinct value: edges between consecutive values.
+    for (std::size_t i = 0; i + 1 < sorted.size(); ++i) {
+      d.edges_.push_back((sorted[i] + sorted[i + 1]) / 2.0);
+    }
+    return d;
+  }
+
+  // Equal-frequency cut points over the raw (non-unique) distribution.
+  std::vector<double> all(values.begin(), values.end());
+  std::sort(all.begin(), all.end());
+  for (std::size_t b = 1; b < max_bins; ++b) {
+    const std::size_t idx = b * all.size() / max_bins;
+    const double edge = all[std::min(idx, all.size() - 1)];
+    if (d.edges_.empty() || edge > d.edges_.back()) {
+      d.edges_.push_back(edge);
+    }
+  }
+  return d;
+}
+
+std::size_t Discretizer::bin_of(double v) const {
+  // First edge >= v gives the bin.
+  const auto it = std::lower_bound(edges_.begin(), edges_.end(), v);
+  return static_cast<std::size_t>(it - edges_.begin());
+}
+
+std::string Discretizer::bin_label(std::size_t bin) const {
+  DC_CHECK(bin < bin_count());
+  char buf[64];
+  if (edges_.empty()) {
+    return "(-inf, +inf)";
+  }
+  if (bin == 0) {
+    std::snprintf(buf, sizeof buf, "(-inf, %.4g]", edges_[0]);
+  } else if (bin == edges_.size()) {
+    std::snprintf(buf, sizeof buf, "(%.4g, +inf)", edges_[bin - 1]);
+  } else {
+    std::snprintf(buf, sizeof buf, "(%.4g, %.4g]", edges_[bin - 1],
+                  edges_[bin]);
+  }
+  return buf;
+}
+
+}  // namespace dnacomp::ml

@@ -1,0 +1,37 @@
+// Equal-frequency discretization of numeric features into ordinal categories
+// — the preprocessing CHAID needs (it splits on categorical predictors; the
+// paper feeds it RAM/CPU/bandwidth/file-size, the first three of which take
+// a handful of grid values anyway).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace dnacomp::ml {
+
+class Discretizer {
+ public:
+  // Learn up to max_bins bins from the values of one column. Distinct values
+  // fewer than max_bins become one category each (exact match on grid
+  // features); otherwise equal-frequency cut points are used.
+  static Discretizer fit(std::span<const double> values,
+                         std::size_t max_bins = 8);
+
+  // Category index in [0, bin_count()).
+  std::size_t bin_of(double v) const;
+
+  std::size_t bin_count() const noexcept { return edges_.size() + 1; }
+
+  // Upper edges (category i is (-inf, edges_[i]] except the last).
+  const std::vector<double>& upper_edges() const noexcept { return edges_; }
+
+  // Human-readable category label, e.g. "(1.5, 3.2]".
+  std::string bin_label(std::size_t bin) const;
+
+ private:
+  std::vector<double> edges_;
+};
+
+}  // namespace dnacomp::ml

@@ -1,0 +1,43 @@
+#include "ml/metrics.h"
+
+#include <sstream>
+
+#include "util/table.h"
+
+namespace dnacomp::ml {
+
+Evaluation evaluate(const Classifier& model, const DataTable& test) {
+  Evaluation e;
+  e.confusion.assign(test.n_classes(),
+                     std::vector<std::size_t>(test.n_classes(), 0));
+  e.predictions.reserve(test.n_rows());
+  for (std::size_t r = 0; r < test.n_rows(); ++r) {
+    const int pred = model.predict(test.row(r));
+    const int actual = test.label(r);
+    e.predictions.push_back(pred);
+    ++e.confusion[static_cast<std::size_t>(actual)]
+                 [static_cast<std::size_t>(pred)];
+    if (pred == actual) ++e.matched;
+    ++e.total;
+  }
+  return e;
+}
+
+std::string format_confusion(const Evaluation& eval,
+                             const std::vector<std::string>& class_names) {
+  std::vector<std::string> headers{"actual \\ predicted"};
+  for (const auto& c : class_names) headers.push_back(c);
+  util::TablePrinter tp(headers);
+  for (std::size_t a = 0; a < class_names.size(); ++a) {
+    std::vector<std::string> row{class_names[a]};
+    for (std::size_t p = 0; p < class_names.size(); ++p) {
+      row.push_back(std::to_string(eval.confusion[a][p]));
+    }
+    tp.add_row(std::move(row));
+  }
+  std::ostringstream os;
+  tp.print(os);
+  return os.str();
+}
+
+}  // namespace dnacomp::ml

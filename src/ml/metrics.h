@@ -1,0 +1,33 @@
+// Evaluation: confusion matrix and the paper's accuracy measure
+// ("Accuracy = Cases Matched / Total Cases").
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "ml/data_table.h"
+#include "ml/tree.h"
+
+namespace dnacomp::ml {
+
+struct Evaluation {
+  std::vector<std::vector<std::size_t>> confusion;  // [actual][predicted]
+  std::size_t matched = 0;
+  std::size_t total = 0;
+  std::vector<int> predictions;  // per test row, in order
+
+  double accuracy() const {
+    return total == 0 ? 0.0
+                      : static_cast<double>(matched) /
+                            static_cast<double>(total);
+  }
+};
+
+Evaluation evaluate(const Classifier& model, const DataTable& test);
+
+// Pretty confusion matrix with class names.
+std::string format_confusion(const Evaluation& eval,
+                             const std::vector<std::string>& class_names);
+
+}  // namespace dnacomp::ml

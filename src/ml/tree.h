@@ -1,0 +1,31 @@
+// Common interface for the rule models used by the inference engine.
+// "These rules are generated through Decision tree induction using methods
+// CHAID ... and CART" (paper §IV-D).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ml/data_table.h"
+
+namespace dnacomp::ml {
+
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  // Predict a class index for a feature row.
+  virtual int predict(std::span<const double> features) const = 0;
+
+  // Flat textual rules, one path per line ("IF file_size <= 51200 AND ...
+  // THEN gencompress"). These are the "rules" the framework stores and the
+  // inference engine applies.
+  virtual std::vector<std::string> rules() const = 0;
+
+  virtual std::size_t node_count() const = 0;
+  virtual std::size_t leaf_count() const = 0;
+  virtual std::string method_name() const = 0;
+};
+
+}  // namespace dnacomp::ml

@@ -1,0 +1,137 @@
+#include "ml/validation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "ml/metrics.h"
+#include "util/check.h"
+#include "util/random.h"
+
+namespace dnacomp::ml {
+
+CrossValidationResult cross_validate(const DataTable& data,
+                                     const Trainer& trainer, std::size_t k,
+                                     std::uint64_t seed,
+                                     const std::vector<std::size_t>& groups) {
+  DC_CHECK(k >= 2);
+  DC_CHECK(data.n_rows() >= k);
+  DC_CHECK(groups.empty() || groups.size() == data.n_rows());
+
+  // Units: either individual rows or whole groups.
+  std::vector<std::vector<std::size_t>> units;
+  if (groups.empty()) {
+    units.reserve(data.n_rows());
+    for (std::size_t r = 0; r < data.n_rows(); ++r) units.push_back({r});
+  } else {
+    std::map<std::size_t, std::vector<std::size_t>> by_group;
+    for (std::size_t r = 0; r < data.n_rows(); ++r) {
+      by_group[groups[r]].push_back(r);
+    }
+    units.reserve(by_group.size());
+    for (auto& [g, rows] : by_group) units.push_back(std::move(rows));
+  }
+  DC_CHECK_MSG(units.size() >= k, "fewer groups than folds");
+
+  // Deterministic shuffle of the units.
+  util::Xoshiro256 rng(seed);
+  for (std::size_t i = units.size(); i > 1; --i) {
+    std::swap(units[i - 1], units[rng.next_below(i)]);
+  }
+
+  CrossValidationResult result;
+  result.fold_accuracies.reserve(k);
+  for (std::size_t fold = 0; fold < k; ++fold) {
+    DataTable train(data.feature_names(), data.class_names());
+    DataTable test(data.feature_names(), data.class_names());
+    for (std::size_t u = 0; u < units.size(); ++u) {
+      DataTable& dst = (u % k == fold) ? test : train;
+      for (const auto r : units[u]) {
+        dst.add_row(data.row(r), data.label(r));
+      }
+    }
+    const auto model = trainer(train);
+    result.fold_accuracies.push_back(evaluate(*model, test).accuracy());
+  }
+
+  double sum = 0.0;
+  for (const double a : result.fold_accuracies) sum += a;
+  result.mean = sum / static_cast<double>(k);
+  double ss = 0.0;
+  for (const double a : result.fold_accuracies) {
+    ss += (a - result.mean) * (a - result.mean);
+  }
+  result.stddev = std::sqrt(ss / static_cast<double>(k > 1 ? k - 1 : 1));
+  return result;
+}
+
+std::string rules_to_dot(const Classifier& model,
+                         const std::string& graph_name) {
+  // Rules are "IF cond AND cond ... THEN class"; build a prefix trie of
+  // conditions so shared premises merge into one path.
+  struct Node {
+    std::map<std::string, int> children;  // condition -> node index
+    std::string leaf_class;               // non-empty at leaves
+  };
+  std::vector<Node> trie(1);
+
+  auto escape = [](const std::string& s) {
+    std::string out;
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  };
+
+  for (const auto& rule : model.rules()) {
+    const auto if_pos = rule.find("IF ");
+    const auto then_pos = rule.find(" THEN ");
+    if (if_pos != 0 || then_pos == std::string::npos) continue;
+    const std::string premise = rule.substr(3, then_pos - 3);
+    const std::string target = rule.substr(then_pos + 6);
+
+    int node = 0;
+    std::size_t pos = 0;
+    while (pos < premise.size()) {
+      std::size_t next = premise.find(" AND ", pos);
+      if (next == std::string::npos) next = premise.size();
+      const std::string cond = premise.substr(pos, next - pos);
+      pos = next + (next == premise.size() ? 0 : 5);
+      auto it = trie[static_cast<std::size_t>(node)].children.find(cond);
+      if (it == trie[static_cast<std::size_t>(node)].children.end()) {
+        trie.push_back({});
+        const int child = static_cast<int>(trie.size() - 1);
+        trie[static_cast<std::size_t>(node)].children[cond] = child;
+        node = child;
+      } else {
+        node = it->second;
+      }
+      if (pos >= premise.size()) break;
+    }
+    trie[static_cast<std::size_t>(node)].leaf_class = target;
+  }
+
+  std::ostringstream os;
+  os << "digraph " << graph_name << " {\n"
+     << "  node [shape=box, fontname=\"monospace\"];\n"
+     << "  n0 [label=\"" << escape(model.method_name()) << "\"];\n";
+  for (std::size_t i = 0; i < trie.size(); ++i) {
+    if (!trie[i].leaf_class.empty()) {
+      os << "  n" << i << " [style=filled, fillcolor=lightgray, label=\""
+         << escape(trie[i].leaf_class) << "\"];\n";
+    }
+    for (const auto& [cond, child] : trie[i].children) {
+      os << "  n" << i << " -> n" << child << " [label=\"" << escape(cond)
+         << "\"];\n";
+      if (trie[static_cast<std::size_t>(child)].leaf_class.empty()) {
+        os << "  n" << child << " [label=\"\", shape=point];\n";
+      }
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace dnacomp::ml

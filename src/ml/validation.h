@@ -1,0 +1,39 @@
+// Model-validation utilities: k-fold cross-validation (how the selector's
+// rules would be validated without a fixed held-out file set) and row
+// shuffling.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "ml/data_table.h"
+#include "ml/tree.h"
+
+namespace dnacomp::ml {
+
+using Trainer =
+    std::function<std::unique_ptr<Classifier>(const DataTable& train)>;
+
+struct CrossValidationResult {
+  std::vector<double> fold_accuracies;
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+// Shuffled k-fold cross-validation over the rows of `data`. `groups`, when
+// non-empty, assigns each row to a unit that must not be split across folds
+// (the experiment pipeline groups rows by corpus file, since all 32 context
+// rows of one file share its compressibility). Deterministic for a seed.
+CrossValidationResult cross_validate(const DataTable& data,
+                                     const Trainer& trainer, std::size_t k,
+                                     std::uint64_t seed = 1,
+                                     const std::vector<std::size_t>& groups = {});
+
+// Export a fitted tree as Graphviz DOT (dot -Tpng tree.dot -o tree.png).
+// Built from the flat rules, so it works for any Classifier.
+std::string rules_to_dot(const Classifier& model,
+                         const std::string& graph_name = "rules");
+
+}  // namespace dnacomp::ml

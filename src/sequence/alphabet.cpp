@@ -1,0 +1,115 @@
+#include "sequence/alphabet.h"
+
+#include <array>
+
+#include "util/check.h"
+
+namespace dnacomp::sequence {
+namespace {
+
+constexpr std::array<std::uint8_t, 256> make_code_table() {
+  std::array<std::uint8_t, 256> t{};
+  for (auto& v : t) v = 0xFF;
+  t['A'] = 0;
+  t['a'] = 0;
+  t['C'] = 1;
+  t['c'] = 1;
+  t['G'] = 2;
+  t['g'] = 2;
+  t['T'] = 3;
+  t['t'] = 3;
+  return t;
+}
+
+constexpr auto kCodeTable = make_code_table();
+constexpr std::array<char, 4> kBaseTable = {'A', 'C', 'G', 'T'};
+
+struct Expansion {
+  char code;
+  const char* bases;
+};
+
+// IUPAC nucleotide ambiguity codes.
+constexpr Expansion kExpansions[] = {
+    {'N', "ACGT"}, {'R', "AG"},  {'Y', "CT"},  {'S', "CG"},
+    {'W', "AT"},   {'K', "GT"},  {'M', "AC"},  {'B', "CGT"},
+    {'D', "AGT"},  {'H', "ACT"}, {'V', "ACG"},
+};
+
+}  // namespace
+
+std::uint8_t base_to_code(char c) noexcept {
+  return kCodeTable[static_cast<unsigned char>(c)];
+}
+
+char code_to_base(std::uint8_t code) noexcept {
+  return code < 4 ? kBaseTable[code] : '?';
+}
+
+char complement_base(char c) noexcept {
+  const std::uint8_t code = base_to_code(c);
+  return code == 0xFF ? '?' : kBaseTable[complement_code(code)];
+}
+
+bool is_strict_base(char c) noexcept { return base_to_code(c) != 0xFF; }
+
+bool is_ambiguity_code(char c) noexcept {
+  const char u = static_cast<char>(c >= 'a' && c <= 'z' ? c - 32 : c);
+  for (const auto& e : kExpansions)
+    if (e.code == u) return true;
+  return false;
+}
+
+std::span<const char> ambiguity_expansion(char c) noexcept {
+  const char u = static_cast<char>(c >= 'a' && c <= 'z' ? c - 32 : c);
+  for (const auto& e : kExpansions) {
+    if (e.code == u) {
+      std::size_t n = 0;
+      while (e.bases[n] != '\0') ++n;
+      return {e.bases, n};
+    }
+  }
+  return {};
+}
+
+std::optional<std::vector<std::uint8_t>> encode_bases(std::string_view s) {
+  std::vector<std::uint8_t> out;
+  out.reserve(s.size());
+  for (char c : s) {
+    const std::uint8_t code = base_to_code(c);
+    if (code == 0xFF) return std::nullopt;
+    out.push_back(code);
+  }
+  return out;
+}
+
+std::string decode_bases(std::span<const std::uint8_t> codes) {
+  std::string out;
+  out.reserve(codes.size());
+  for (auto c : codes) {
+    DC_CHECK(c < 4);
+    out.push_back(kBaseTable[c]);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> reverse_complement(
+    std::span<const std::uint8_t> codes) {
+  std::vector<std::uint8_t> out;
+  out.reserve(codes.size());
+  for (std::size_t i = codes.size(); i-- > 0;) {
+    DC_CHECK(codes[i] < 4);
+    out.push_back(complement_code(codes[i]));
+  }
+  return out;
+}
+
+double gc_content(std::span<const std::uint8_t> codes) noexcept {
+  if (codes.empty()) return 0.0;
+  std::size_t gc = 0;
+  for (auto c : codes)
+    if (c == 1 || c == 2) ++gc;
+  return static_cast<double>(gc) / static_cast<double>(codes.size());
+}
+
+}  // namespace dnacomp::sequence

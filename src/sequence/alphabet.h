@@ -1,0 +1,53 @@
+// The 4-letter DNA alphabet: character <-> 2-bit code mapping, complements,
+// and IUPAC ambiguity handling.
+//
+// Codes are chosen so that complement(code) == 3 - code:
+//   A=0, C=1, G=2, T=3   (A<->T, C<->G).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dnacomp::sequence {
+
+inline constexpr unsigned kAlphabetSize = 4;
+
+// 2-bit code for an upper- or lower-case base; 0xFF for anything else.
+std::uint8_t base_to_code(char c) noexcept;
+
+// 'A','C','G','T' for codes 0..3.
+char code_to_base(std::uint8_t code) noexcept;
+
+inline std::uint8_t complement_code(std::uint8_t code) noexcept {
+  return static_cast<std::uint8_t>(3 - code);
+}
+
+char complement_base(char c) noexcept;
+
+bool is_strict_base(char c) noexcept;  // ACGT only (either case)
+
+// True for IUPAC ambiguity codes (N, R, Y, S, W, K, M, B, D, H, V).
+bool is_ambiguity_code(char c) noexcept;
+
+// The set of concrete bases an IUPAC code stands for; empty for non-codes.
+std::span<const char> ambiguity_expansion(char c) noexcept;
+
+// Encode an ACGT string to codes. Returns std::nullopt if any character is
+// not a strict base.
+std::optional<std::vector<std::uint8_t>> encode_bases(std::string_view s);
+
+// Decode codes back to an ACGT string.
+std::string decode_bases(std::span<const std::uint8_t> codes);
+
+// Reverse complement of a code sequence.
+std::vector<std::uint8_t> reverse_complement(
+    std::span<const std::uint8_t> codes);
+
+// GC fraction of a code sequence (0 when empty).
+double gc_content(std::span<const std::uint8_t> codes) noexcept;
+
+}  // namespace dnacomp::sequence

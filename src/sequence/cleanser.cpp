@@ -1,0 +1,66 @@
+#include "sequence/cleanser.h"
+
+#include <stdexcept>
+
+#include "sequence/alphabet.h"
+#include "util/random.h"
+
+namespace dnacomp::sequence {
+
+CleanseResult cleanse(std::string_view raw, const CleanseOptions& opts) {
+  CleanseResult res;
+  res.report.input_bytes = raw.size();
+  res.sequence.reserve(raw.size());
+  util::Xoshiro256 rng(opts.seed);
+
+  std::size_t pos = 0;
+  while (pos < raw.size()) {
+    // Header/comment lines are removed whole.
+    if ((raw[pos] == '>' || raw[pos] == ';') &&
+        (pos == 0 || raw[pos - 1] == '\n')) {
+      std::size_t eol = raw.find('\n', pos);
+      if (eol == std::string_view::npos) eol = raw.size();
+      pos = eol;  // the '\n' itself is counted as whitespace below
+      ++res.report.header_lines_removed;
+      continue;
+    }
+    const char c = raw[pos++];
+    if (is_strict_base(c)) {
+      res.sequence.push_back(
+          static_cast<char>(c >= 'a' ? c - 32 : c));
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' ||
+        c == '\v') {
+      ++res.report.whitespace_removed;
+      continue;
+    }
+    if (c >= '0' && c <= '9') {
+      ++res.report.digits_removed;
+      continue;
+    }
+    if (is_ambiguity_code(c)) {
+      switch (opts.ambiguity) {
+        case AmbiguityPolicy::kFail:
+          throw std::runtime_error(
+              std::string("cleanse: ambiguity code '") + c + "'");
+        case AmbiguityPolicy::kDrop:
+          ++res.report.ambiguity_dropped;
+          break;
+        case AmbiguityPolicy::kRandomize: {
+          const auto choices = ambiguity_expansion(c);
+          res.sequence.push_back(
+              choices[rng.next_below(choices.size())]);
+          ++res.report.ambiguity_resolved;
+          break;
+        }
+      }
+      continue;
+    }
+    ++res.report.other_removed;  // punctuation, 'U', annotation letters, ...
+  }
+  res.report.output_bases = res.sequence.size();
+  return res;
+}
+
+}  // namespace dnacomp::sequence

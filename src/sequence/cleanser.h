@@ -1,0 +1,47 @@
+// The Cleanser component of the paper's framework (Fig. 7): "Extra
+// information is cleansed by the Cleanser." Takes raw downloaded text (FASTA
+// or GenBank-ish flat text with headers, numbering and ambiguity codes) and
+// produces a pure ACGT sequence ready for the DNA compressors, plus a report
+// of what was removed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace dnacomp::sequence {
+
+enum class AmbiguityPolicy {
+  kDrop,       // remove ambiguity codes entirely
+  kRandomize,  // replace with a deterministic choice from the IUPAC set
+  kFail,       // throw on any ambiguity code
+};
+
+struct CleanseOptions {
+  AmbiguityPolicy ambiguity = AmbiguityPolicy::kRandomize;
+  std::uint64_t seed = 1;  // for kRandomize; deterministic per input
+};
+
+struct CleanseReport {
+  std::size_t input_bytes = 0;
+  std::size_t output_bases = 0;
+  std::size_t header_lines_removed = 0;
+  std::size_t whitespace_removed = 0;
+  std::size_t digits_removed = 0;
+  std::size_t ambiguity_resolved = 0;
+  std::size_t ambiguity_dropped = 0;
+  std::size_t other_removed = 0;
+};
+
+struct CleanseResult {
+  std::string sequence;  // upper-case ACGT only
+  CleanseReport report;
+};
+
+// Cleanse free-form sequence text. Header lines (starting with '>' or ';')
+// are removed whole; digits (GenBank position numbers), whitespace and
+// punctuation are dropped; case is folded; ambiguity codes are handled per
+// policy. Throws std::runtime_error for kFail on ambiguity.
+CleanseResult cleanse(std::string_view raw, const CleanseOptions& opts = {});
+
+}  // namespace dnacomp::sequence

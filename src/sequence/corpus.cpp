@@ -1,0 +1,137 @@
+#include "sequence/corpus.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "sequence/fasta.h"
+#include "util/check.h"
+#include "util/random.h"
+
+namespace dnacomp::sequence {
+namespace {
+
+struct StandardProfile {
+  const char* name;
+  std::size_t bases;      // true size of the published benchmark file
+  double gc;              // approximate GC content of the real sequence
+  double repeat_density;  // how repetitive the real sequence family is
+  double mutation_rate;
+};
+
+// Size column matches the classic DNA-compression benchmark corpus
+// (Grumbach & Tahi / Manzini & Rastero evaluations).
+constexpr StandardProfile kStandard[] = {
+    {"chmpxx", 121'024, 0.31, 0.25, 0.040},      // marchantia chloroplast
+    {"chntxx", 155'844, 0.38, 0.22, 0.040},      // tobacco chloroplast
+    {"humdystrop", 38'770, 0.39, 0.15, 0.060},   // human dystrophin region
+    {"humghcsa", 66'495, 0.62, 0.50, 0.020},     // growth hormone cluster
+    {"humhbb", 73'308, 0.40, 0.25, 0.045},       // beta-globin region
+    {"humhdabcd", 58'864, 0.50, 0.22, 0.050},    // huntington region
+    {"vaccg", 191'737, 0.33, 0.30, 0.035},       // vaccinia virus genome
+};
+
+}  // namespace
+
+std::vector<CorpusFile> build_corpus(const CorpusOptions& opts) {
+  DC_CHECK(opts.min_size >= 64);
+  DC_CHECK(opts.max_size > opts.min_size);
+
+  std::vector<CorpusFile> corpus;
+  corpus.reserve(7 + opts.synthetic_count);
+  util::Xoshiro256 master(opts.master_seed);
+
+  for (const auto& sp : kStandard) {
+    CorpusFile f;
+    f.name = sp.name;
+    f.kind = CorpusKind::kStandardBenchmark;
+    f.params.length = sp.bases;
+    f.params.gc_bias = sp.gc;
+    f.params.repeat_density = sp.repeat_density;
+    f.params.mutation_rate = sp.mutation_rate;
+    f.params.seed = master.next();
+    f.data = generate_dna(f.params);
+    corpus.push_back(std::move(f));
+  }
+
+  // Log-spaced sizes so small files (<50 KB, where the paper's selector
+  // flips to GenCompress/CTW) are well represented.
+  const double log_lo = std::log(static_cast<double>(opts.min_size));
+  const double log_hi = std::log(static_cast<double>(opts.max_size));
+  for (std::size_t i = 0; i < opts.synthetic_count; ++i) {
+    const double t =
+        opts.synthetic_count == 1
+            ? 0.0
+            : static_cast<double>(i) /
+                  static_cast<double>(opts.synthetic_count - 1);
+    // Jitter each size a little so files do not share exact sizes.
+    const double jitter = master.next_double(0.92, 1.08);
+    auto size = static_cast<std::size_t>(
+        std::exp(log_lo + (log_hi - log_lo) * t) * jitter);
+    size = std::max(opts.min_size, std::min(opts.max_size, size));
+
+    CorpusFile f;
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "synth_bact_%03zu", i);
+    f.name = buf;
+    f.kind = CorpusKind::kSyntheticBacterial;
+    f.params.length = size;
+    f.params.gc_bias = master.next_double(0.30, 0.68);
+    f.params.repeat_density = master.next_double(0.38, 0.50);
+    f.params.reverse_complement_fraction = master.next_double(0.10, 0.40);
+    f.params.mutation_rate = master.next_double(0.060, 0.070);
+    f.params.markov_strength = master.next_double(0.90, 1.20);
+    // Cap repeat-block sizes for small files so they contain *many* repeats
+    // rather than one or two huge ones — keeps per-file compressibility
+    // concentrated around its expectation at every size. Large files keep
+    // the generator defaults.
+    f.params.mean_repeat_length =
+        std::clamp(static_cast<double>(size) / 40.0, 100.0, 400.0);
+    f.params.max_repeat_length =
+        std::clamp<std::size_t>(size / 4, 500, 8000);
+    f.params.mean_fresh_length =
+        std::clamp(static_cast<double>(size) / 30.0, 120.0, 600.0);
+    f.params.seed = master.next();
+    f.data = generate_dna(f.params);
+    corpus.push_back(std::move(f));
+  }
+  return corpus;
+}
+
+CorpusSplit split_corpus(std::size_t corpus_size) {
+  CorpusSplit s;
+  for (std::size_t i = 0; i < corpus_size; ++i) {
+    if (i % 4 == 3) {
+      s.test.push_back(i);
+    } else {
+      s.train.push_back(i);
+    }
+  }
+  return s;
+}
+
+std::vector<std::string> write_corpus_fasta(
+    const std::vector<CorpusFile>& corpus, const std::string& dir) {
+  namespace fs = std::filesystem;
+  fs::create_directories(dir);
+  std::vector<std::string> paths;
+  paths.reserve(corpus.size());
+  for (const auto& f : corpus) {
+    std::vector<FastaRecord> recs(1);
+    recs[0].id = f.name;
+    recs[0].description =
+        f.kind == CorpusKind::kStandardBenchmark ? "standard benchmark profile"
+                                                 : "synthetic bacterial";
+    recs[0].sequence = f.data;
+    const std::string path = (fs::path(dir) / (f.name + ".fa")).string();
+    std::ofstream os(path, std::ios::binary);
+    DC_CHECK_MSG(os.good(), "cannot open " + path);
+    os << write_fasta(recs);
+    paths.push_back(path);
+  }
+  return paths;
+}
+
+}  // namespace dnacomp::sequence

@@ -1,0 +1,51 @@
+// The experiment corpus: 132 DNA files, 99 train / 33 test, mirroring the
+// paper's setup (§IV-A: 132 files; §V: 33 test files × 32 contexts = 1056
+// validation rows).
+//
+// Seven files reproduce the size/character of the standard DNA compression
+// benchmark set used "by most of the authors" (CHMPXX, CHNTXX, HUMDYSTROP,
+// HUMGHCSA, HUMHBB, HUMHDABCD, VACCG — sizes match the published corpus);
+// the remaining 125 model NCBI bacterial sequences with log-spaced sizes.
+// Everything is generated deterministically from one master seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sequence/generator.h"
+
+namespace dnacomp::sequence {
+
+enum class CorpusKind { kStandardBenchmark, kSyntheticBacterial };
+
+struct CorpusFile {
+  std::string name;
+  CorpusKind kind = CorpusKind::kSyntheticBacterial;
+  GeneratorParams params;  // exact parameters used (reproducibility record)
+  std::string data;        // upper-case ACGT
+};
+
+struct CorpusOptions {
+  std::uint64_t master_seed = 2015;  // venue year; any value works
+  std::size_t synthetic_count = 125;
+  std::size_t min_size = 8'192;      // paper spans "less than 50kb" up to MBs
+  std::size_t max_size = 786'432;    // capped (paper ≤ 10 MB) for bench time
+};
+
+// Build the full 7 + synthetic_count corpus.
+std::vector<CorpusFile> build_corpus(const CorpusOptions& opts = {});
+
+// Deterministic 75/25 split by file (every 4th file is a test file), as the
+// paper separates 25% of experiments for testing up front.
+struct CorpusSplit {
+  std::vector<std::size_t> train;  // indices into the corpus vector
+  std::vector<std::size_t> test;
+};
+CorpusSplit split_corpus(std::size_t corpus_size);
+
+// Write each file as FASTA under dir (created if needed). Returns paths.
+std::vector<std::string> write_corpus_fasta(
+    const std::vector<CorpusFile>& corpus, const std::string& dir);
+
+}  // namespace dnacomp::sequence

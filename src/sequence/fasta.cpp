@@ -1,0 +1,69 @@
+#include "sequence/fasta.h"
+
+#include <stdexcept>
+
+namespace dnacomp::sequence {
+
+std::vector<FastaRecord> parse_fasta(std::string_view text) {
+  std::vector<FastaRecord> records;
+  FastaRecord* current = nullptr;
+
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (line.empty()) continue;
+
+    if (line.front() == '>') {
+      line.remove_prefix(1);
+      if (line.empty()) {
+        throw std::runtime_error("FASTA: empty header line");
+      }
+      FastaRecord rec;
+      const std::size_t sp = line.find_first_of(" \t");
+      if (sp == std::string_view::npos) {
+        rec.id = std::string(line);
+      } else {
+        rec.id = std::string(line.substr(0, sp));
+        const std::size_t rest = line.find_first_not_of(" \t", sp);
+        if (rest != std::string_view::npos) {
+          rec.description = std::string(line.substr(rest));
+        }
+      }
+      records.push_back(std::move(rec));
+      current = &records.back();
+    } else if (current != nullptr) {
+      for (char c : line) {
+        if (c != ' ' && c != '\t') current->sequence.push_back(c);
+      }
+    }
+    // Lines before the first '>' are tolerated and ignored (GenBank flat
+    // files carry annotation text before the sequence block).
+  }
+  return records;
+}
+
+std::string write_fasta(const std::vector<FastaRecord>& records,
+                        std::size_t width) {
+  if (width == 0) width = 70;
+  std::string out;
+  for (const auto& rec : records) {
+    out.push_back('>');
+    out += rec.id;
+    if (!rec.description.empty()) {
+      out.push_back(' ');
+      out += rec.description;
+    }
+    out.push_back('\n');
+    for (std::size_t i = 0; i < rec.sequence.size(); i += width) {
+      out += rec.sequence.substr(i, width);
+      out.push_back('\n');
+    }
+  }
+  return out;
+}
+
+}  // namespace dnacomp::sequence

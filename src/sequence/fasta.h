@@ -1,0 +1,27 @@
+// FASTA reading/writing. The paper's pipeline downloads GenBank flat files,
+// decompresses them and then separates sequences from surrounding text; the
+// FASTA layer plus the Cleanser reproduce that preparation step.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dnacomp::sequence {
+
+struct FastaRecord {
+  std::string id;           // token after '>' up to first whitespace
+  std::string description;  // rest of the header line
+  std::string sequence;     // raw residues, possibly with ambiguity codes
+};
+
+// Parse a FASTA document. Tolerates leading junk before the first '>',
+// blank lines, CRLF, and lower-case residues. Throws std::runtime_error on a
+// record with an empty header.
+std::vector<FastaRecord> parse_fasta(std::string_view text);
+
+// Write records with sequence lines wrapped at `width` characters.
+std::string write_fasta(const std::vector<FastaRecord>& records,
+                        std::size_t width = 70);
+
+}  // namespace dnacomp::sequence

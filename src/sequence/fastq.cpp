@@ -1,0 +1,66 @@
+#include "sequence/fastq.h"
+
+#include <stdexcept>
+
+namespace dnacomp::sequence {
+namespace {
+
+std::string_view next_line(std::string_view text, std::size_t* pos) {
+  if (*pos >= text.size()) {
+    throw std::runtime_error("FASTQ: unexpected end of input");
+  }
+  std::size_t eol = text.find('\n', *pos);
+  if (eol == std::string_view::npos) eol = text.size();
+  std::string_view line = text.substr(*pos, eol - *pos);
+  *pos = eol + 1;
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  return line;
+}
+
+}  // namespace
+
+std::vector<FastqRecord> parse_fastq(std::string_view text) {
+  std::vector<FastqRecord> records;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    // Skip blank lines between records.
+    if (text[pos] == '\n' || text[pos] == '\r') {
+      ++pos;
+      continue;
+    }
+    const auto header = next_line(text, &pos);
+    if (header.empty() || header.front() != '@') {
+      throw std::runtime_error("FASTQ: record must start with '@'");
+    }
+    FastqRecord rec;
+    rec.id = std::string(header.substr(1));
+    rec.sequence = std::string(next_line(text, &pos));
+    const auto plus = next_line(text, &pos);
+    if (plus.empty() || plus.front() != '+') {
+      throw std::runtime_error("FASTQ: missing '+' separator");
+    }
+    rec.quality = std::string(next_line(text, &pos));
+    if (rec.quality.size() != rec.sequence.size()) {
+      throw std::runtime_error(
+          "FASTQ: quality length does not match sequence length");
+    }
+    records.push_back(std::move(rec));
+  }
+  return records;
+}
+
+std::string write_fastq(const std::vector<FastqRecord>& records) {
+  std::string out;
+  for (const auto& rec : records) {
+    out.push_back('@');
+    out += rec.id;
+    out.push_back('\n');
+    out += rec.sequence;
+    out += "\n+\n";
+    out += rec.quality;
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace dnacomp::sequence

@@ -1,0 +1,24 @@
+// FASTQ reading/writing — the high-throughput sequencing format the
+// paper's related work compresses (G-SQZ, Daily et al.). Four lines per
+// record: @id, sequence, '+', quality string (one char per base).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dnacomp::sequence {
+
+struct FastqRecord {
+  std::string id;        // text after '@' (whole line)
+  std::string sequence;  // bases, may include 'N'
+  std::string quality;   // same length as sequence, Phred+33 chars
+};
+
+// Parse a FASTQ document. Throws std::runtime_error on structural errors
+// (missing lines, quality/sequence length mismatch, bad markers).
+std::vector<FastqRecord> parse_fastq(std::string_view text);
+
+std::string write_fastq(const std::vector<FastqRecord>& records);
+
+}  // namespace dnacomp::sequence

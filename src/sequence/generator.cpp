@@ -1,0 +1,129 @@
+#include "sequence/generator.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "sequence/alphabet.h"
+#include "util/check.h"
+#include "util/random.h"
+
+namespace dnacomp::sequence {
+namespace {
+
+// Hidden order-k Markov source for background bases. One table per file,
+// sampled from the file's RNG, so every corpus file has its own statistical
+// "dialect" the way different organisms do.
+class MarkovBackground {
+ public:
+  MarkovBackground(unsigned order, double strength, double gc_bias,
+                   util::Xoshiro256& rng)
+      : order_(order), mask_((std::size_t{1} << (2 * order)) - 1) {
+    const std::size_t contexts = std::size_t{1} << (2 * order_);
+    probs_.resize(contexts * 4);
+    // Base weights implement the GC bias; per-context log-normal jitter
+    // implements the Markov structure.
+    const std::array<double, 4> base_w = {
+        (1.0 - gc_bias) / 2.0, gc_bias / 2.0, gc_bias / 2.0,
+        (1.0 - gc_bias) / 2.0};
+    for (std::size_t ctx = 0; ctx < contexts; ++ctx) {
+      double total = 0.0;
+      std::array<double, 4> w{};
+      for (unsigned b = 0; b < 4; ++b) {
+        w[b] = base_w[b] * std::exp(strength * rng.next_gaussian());
+        total += w[b];
+      }
+      for (unsigned b = 0; b < 4; ++b) probs_[ctx * 4 + b] = w[b] / total;
+    }
+  }
+
+  char next(util::Xoshiro256& rng) {
+    const double* w = &probs_[(history_ & mask_) * 4];
+    double x = rng.next_double();
+    unsigned b = 0;
+    for (; b < 3; ++b) {
+      x -= w[b];
+      if (x < 0.0) break;
+    }
+    history_ = (history_ << 2) | b;
+    return code_to_base(static_cast<std::uint8_t>(b));
+  }
+
+ private:
+  unsigned order_;
+  std::size_t mask_;
+  std::size_t history_ = 0;
+  std::vector<double> probs_;
+};
+
+char mutate(util::Xoshiro256& rng, char original) {
+  // Substitute with one of the three other bases, uniformly.
+  const std::uint8_t code = base_to_code(original);
+  const auto shift = static_cast<std::uint8_t>(1 + rng.next_below(3));
+  return code_to_base(static_cast<std::uint8_t>((code + shift) & 3));
+}
+
+}  // namespace
+
+std::string generate_dna(const GeneratorParams& params) {
+  DC_CHECK(params.length > 0);
+  DC_CHECK(params.min_repeat_length >= 1);
+  DC_CHECK(params.max_repeat_length >= params.min_repeat_length);
+  DC_CHECK(params.markov_order >= 1 && params.markov_order <= 10);
+
+  util::Xoshiro256 rng(params.seed);
+  MarkovBackground background(params.markov_order, params.markov_strength,
+                              params.gc_bias, rng);
+  std::string out;
+  out.reserve(params.length);
+
+  // Seed material so the first repeat has something to copy from.
+  const std::size_t warmup =
+      std::min<std::size_t>(params.length,
+                            std::max<std::size_t>(params.min_repeat_length * 2,
+                                                  64));
+  for (std::size_t i = 0; i < warmup; ++i) {
+    out.push_back(background.next(rng));
+  }
+
+  while (out.size() < params.length) {
+    const bool do_repeat =
+        out.size() > params.min_repeat_length &&
+        rng.next_bool(params.repeat_density);
+
+    if (!do_repeat) {
+      const std::size_t n = std::min<std::size_t>(
+          params.length - out.size(),
+          std::max<std::uint64_t>(
+              1, rng.next_geometric(params.mean_fresh_length, 8, 1u << 16)));
+      for (std::size_t i = 0; i < n; ++i) {
+        out.push_back(background.next(rng));
+      }
+      continue;
+    }
+
+    std::size_t len = rng.next_geometric(params.mean_repeat_length,
+                                         params.min_repeat_length,
+                                         params.max_repeat_length);
+    len = std::min(len, out.size());
+    len = std::min(len, params.length - out.size());
+    if (len == 0) break;
+    const std::size_t src =
+        static_cast<std::size_t>(rng.next_below(out.size() - len + 1));
+
+    const bool rc = rng.next_bool(params.reverse_complement_fraction);
+    for (std::size_t i = 0; i < len; ++i) {
+      char c = rc ? complement_base(out[src + len - 1 - i]) : out[src + i];
+      if (params.mutation_rate > 0.0 && rng.next_bool(params.mutation_rate)) {
+        c = mutate(rng, c);
+      }
+      out.push_back(c);
+    }
+  }
+
+  DC_CHECK(out.size() == params.length);
+  return out;
+}
+
+}  // namespace dnacomp::sequence

@@ -1,0 +1,60 @@
+// Synthetic DNA sequence generator.
+//
+// Stands in for the paper's NCBI corpus (offline substitution, see
+// DESIGN.md). It plants the three repeat classes of paper §II-B —
+//  1. exact repeats within the sequence,
+//  2. reverse-complement repeats (A<->T, C<->G pairing),
+//  3. mutated (approximate) repeats, since same-species sequences are
+//     ~99.9 % identical —
+// because those are exactly what differentiates the four compressors: DNAX
+// exploits (1)+(2), GenCompress additionally (3), CTW models local statistics
+// and GzipX only sees (1) within its 32 KB window.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dnacomp::sequence {
+
+struct GeneratorParams {
+  std::size_t length = 100'000;
+
+  // Probability that the generator starts a repeat block instead of emitting
+  // fresh background bases at a block boundary.
+  double repeat_density = 0.45;
+
+  // Of the repeats, fraction copied as reverse complement.
+  double reverse_complement_fraction = 0.25;
+
+  // Per-base substitution probability inside copied blocks; gives the
+  // "approximate repeat" class. 0 disables mutations.
+  double mutation_rate = 0.07;
+
+  // Mean repeat block length (geometric); clamped to [min,max] below.
+  double mean_repeat_length = 400.0;
+  std::size_t min_repeat_length = 24;
+  std::size_t max_repeat_length = 8'000;
+
+  // Mean fresh (background) block length between repeats.
+  double mean_fresh_length = 600.0;
+
+  // Target GC fraction for background bases (bacterial genomes ~0.3-0.7).
+  double gc_bias = 0.5;
+
+  // Background bases come from a hidden order-k Markov chain whose
+  // per-context distributions are sampled once per file. Real genomes have
+  // strong low-order Markov structure (codon bias, CpG suppression); this is
+  // what statistical compressors such as CTW exploit and what an order-2
+  // fallback coder cannot fully capture.
+  unsigned markov_order = 5;
+  // Log-scale concentration of the per-context distributions. 0 = uniform
+  // (2 bits/base background entropy); ~1.2 gives ≈1.5-1.7 bits/base.
+  double markov_strength = 1.0;
+
+  std::uint64_t seed = 42;
+};
+
+// Generate an upper-case ACGT string of exactly params.length bases.
+std::string generate_dna(const GeneratorParams& params);
+
+}  // namespace dnacomp::sequence

@@ -1,0 +1,83 @@
+#include "sequence/packed_dna.h"
+
+#include <stdexcept>
+
+#include "sequence/alphabet.h"
+#include "util/check.h"
+
+namespace dnacomp::sequence {
+
+PackedDna PackedDna::from_codes(std::span<const std::uint8_t> codes) {
+  PackedDna p;
+  p.data_.reserve((codes.size() + 3) / 4);
+  for (auto c : codes) p.push_back(c);
+  return p;
+}
+
+PackedDna PackedDna::from_string(std::string_view s) {
+  auto codes = encode_bases(s);
+  if (!codes) {
+    throw std::invalid_argument("PackedDna::from_string: non-ACGT character");
+  }
+  return from_codes(*codes);
+}
+
+void PackedDna::push_back(std::uint8_t code) {
+  DC_CHECK(code < 4);
+  const std::size_t slot = size_ & 3;
+  if (slot == 0) data_.push_back(0);
+  data_.back() = static_cast<std::uint8_t>(
+      data_.back() | (code << (slot * 2)));
+  ++size_;
+}
+
+std::uint8_t PackedDna::at(std::size_t i) const {
+  DC_CHECK(i < size_);
+  return (data_[i >> 2] >> ((i & 3) * 2)) & 3u;
+}
+
+std::vector<std::uint8_t> PackedDna::to_codes() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(size_);
+  for (std::size_t i = 0; i < size_; ++i) out.push_back(at(i));
+  return out;
+}
+
+std::string PackedDna::to_string() const {
+  std::string out;
+  out.reserve(size_);
+  for (std::size_t i = 0; i < size_; ++i) out.push_back(code_to_base(at(i)));
+  return out;
+}
+
+PackedDna PackedDna::reverse_complement() const {
+  PackedDna p;
+  p.data_.reserve(data_.size());
+  for (std::size_t i = size_; i-- > 0;) {
+    p.push_back(complement_code(at(i)));
+  }
+  return p;
+}
+
+std::vector<std::uint8_t> PackedDna::serialize() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(8 + data_.size());
+  std::uint64_t n = size_;
+  for (int i = 0; i < 8; ++i) out.push_back((n >> (8 * i)) & 0xFF);
+  out.insert(out.end(), data_.begin(), data_.end());
+  return out;
+}
+
+PackedDna PackedDna::deserialize(std::span<const std::uint8_t> bytes) {
+  DC_CHECK_MSG(bytes.size() >= 8, "PackedDna: truncated header");
+  std::uint64_t n = 0;
+  for (int i = 0; i < 8; ++i) n |= std::uint64_t{bytes[i]} << (8 * i);
+  const std::size_t payload = (static_cast<std::size_t>(n) + 3) / 4;
+  DC_CHECK_MSG(bytes.size() >= 8 + payload, "PackedDna: truncated payload");
+  PackedDna p;
+  p.size_ = static_cast<std::size_t>(n);
+  p.data_.assign(bytes.begin() + 8, bytes.begin() + 8 + payload);
+  return p;
+}
+
+}  // namespace dnacomp::sequence

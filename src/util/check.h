@@ -1,0 +1,37 @@
+// Lightweight runtime assertions that stay on in release builds.
+//
+// Compression codecs are exactly the kind of code where a silent
+// out-of-contract call corrupts output rather than crashing, so the cost of a
+// predictable branch per check is worth paying even in Release.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dnacomp::util {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "DC_CHECK failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace dnacomp::util
+
+// Always-on invariant check. Throws std::logic_error so tests can observe it.
+#define DC_CHECK(expr)                                                   \
+  do {                                                                   \
+    if (!(expr))                                                         \
+      ::dnacomp::util::check_failed(#expr, __FILE__, __LINE__, {});      \
+  } while (0)
+
+#define DC_CHECK_MSG(expr, msg)                                          \
+  do {                                                                   \
+    if (!(expr))                                                         \
+      ::dnacomp::util::check_failed(#expr, __FILE__, __LINE__, (msg));   \
+  } while (0)

@@ -1,0 +1,117 @@
+#include "util/csv.h"
+
+#include <charconv>
+#include <cstdio>
+
+namespace dnacomp::util {
+
+std::string csv_escape(std::string_view v) {
+  const bool needs_quote =
+      v.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quote) return std::string(v);
+  std::string out;
+  out.reserve(v.size() + 2);
+  out.push_back('"');
+  for (char c : v) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+CsvWriter& CsvWriter::field(std::string_view v) {
+  if (row_started_) *os_ << ',';
+  *os_ << csv_escape(v);
+  row_started_ = true;
+  return *this;
+}
+
+CsvWriter& CsvWriter::field(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return field(std::string_view(buf));
+}
+
+CsvWriter& CsvWriter::field(std::int64_t v) {
+  char buf[32];
+  auto [p, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  (void)ec;
+  return field(std::string_view(buf, static_cast<std::size_t>(p - buf)));
+}
+
+CsvWriter& CsvWriter::field(std::uint64_t v) {
+  char buf[32];
+  auto [p, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  (void)ec;
+  return field(std::string_view(buf, static_cast<std::size_t>(p - buf)));
+}
+
+void CsvWriter::end_row() {
+  *os_ << '\n';
+  row_started_ = false;
+}
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  for (const auto& f : fields) field(f);
+  end_row();
+}
+
+std::vector<std::vector<std::string>> parse_csv(std::string_view text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string cell;
+  bool in_quotes = false;
+  bool cell_started = false;
+
+  auto flush_cell = [&] {
+    row.push_back(std::move(cell));
+    cell.clear();
+    cell_started = false;
+  };
+  auto flush_row = [&] {
+    flush_cell();
+    rows.push_back(std::move(row));
+    row.clear();
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          cell.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cell.push_back(c);
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_quotes = true;
+        cell_started = true;
+        break;
+      case ',':
+        flush_cell();
+        cell_started = true;  // next cell exists even if empty
+        break;
+      case '\r':
+        break;  // tolerate CRLF
+      case '\n':
+        flush_row();
+        break;
+      default:
+        cell.push_back(c);
+        cell_started = true;
+        break;
+    }
+  }
+  if (cell_started || !cell.empty() || !row.empty()) flush_row();
+  return rows;
+}
+
+}  // namespace dnacomp::util

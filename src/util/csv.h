@@ -1,0 +1,38 @@
+// Minimal CSV writer/reader. Benches write their series as CSV next to the
+// human-readable tables so results can be re-plotted.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dnacomp::util {
+
+class CsvWriter {
+ public:
+  // Does not own the stream; stream must outlive the writer.
+  explicit CsvWriter(std::ostream& os) : os_(&os) {}
+
+  CsvWriter& field(std::string_view v);
+  CsvWriter& field(double v);
+  CsvWriter& field(std::int64_t v);
+  CsvWriter& field(std::uint64_t v);
+  void end_row();
+
+  // Convenience: write a whole row of strings.
+  void row(const std::vector<std::string>& fields);
+
+ private:
+  std::ostream* os_;
+  bool row_started_ = false;
+};
+
+// Quote a field per RFC 4180 if it contains comma/quote/newline.
+std::string csv_escape(std::string_view v);
+
+// Parse one CSV document. Handles quoted fields and embedded commas/quotes;
+// rows may have differing lengths. Newlines inside quotes are supported.
+std::vector<std::vector<std::string>> parse_csv(std::string_view text);
+
+}  // namespace dnacomp::util

@@ -1,0 +1,42 @@
+#include "util/memory_tracker.h"
+
+namespace dnacomp::util {
+
+void TrackingResource::add(std::size_t bytes) noexcept {
+  const std::size_t now =
+      current_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  // Racy-but-monotone peak update.
+  std::size_t prev = peak_.load(std::memory_order_relaxed);
+  while (prev < now &&
+         !peak_.compare_exchange_weak(prev, now, std::memory_order_relaxed)) {
+  }
+}
+
+void* TrackingResource::do_allocate(std::size_t bytes, std::size_t alignment) {
+  void* p = upstream_->allocate(bytes, alignment);
+  add(bytes);
+  allocations_.fetch_add(1, std::memory_order_relaxed);
+  return p;
+}
+
+void TrackingResource::do_deallocate(void* p, std::size_t bytes,
+                                     std::size_t alignment) {
+  upstream_->deallocate(p, bytes, alignment);
+  current_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+void TrackingResource::note_external(std::size_t bytes) noexcept {
+  add(bytes);
+}
+
+void TrackingResource::release_external(std::size_t bytes) noexcept {
+  current_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+void TrackingResource::reset() noexcept {
+  current_.store(0, std::memory_order_relaxed);
+  peak_.store(0, std::memory_order_relaxed);
+  allocations_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace dnacomp::util

@@ -1,0 +1,79 @@
+// Peak-memory metering.
+//
+// The paper's labeling equation includes RAM_used, measured per compression
+// run. We reproduce that with a std::pmr::memory_resource that counts live
+// bytes and tracks the high-water mark; each compressor allocates its large
+// working structures (hash tables, context trees, match buffers) through it.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory_resource>
+
+namespace dnacomp::util {
+
+class TrackingResource final : public std::pmr::memory_resource {
+ public:
+  explicit TrackingResource(
+      std::pmr::memory_resource* upstream = std::pmr::new_delete_resource())
+      : upstream_(upstream) {}
+
+  std::size_t current_bytes() const noexcept {
+    return current_.load(std::memory_order_relaxed);
+  }
+  std::size_t peak_bytes() const noexcept {
+    return peak_.load(std::memory_order_relaxed);
+  }
+  std::size_t allocation_count() const noexcept {
+    return allocations_.load(std::memory_order_relaxed);
+  }
+
+  // Account for memory that is not routed through this resource (e.g. a
+  // plain std::vector whose capacity is known). Keeps the meter honest for
+  // structures where pmr plumbing is not worth the noise.
+  void note_external(std::size_t bytes) noexcept;
+  void release_external(std::size_t bytes) noexcept;
+
+  void reset() noexcept;
+
+ private:
+  void* do_allocate(std::size_t bytes, std::size_t alignment) override;
+  void do_deallocate(void* p, std::size_t bytes,
+                     std::size_t alignment) override;
+  bool do_is_equal(const std::pmr::memory_resource& other)
+      const noexcept override {
+    return this == &other;
+  }
+
+  void add(std::size_t bytes) noexcept;
+
+  std::pmr::memory_resource* upstream_;
+  std::atomic<std::size_t> current_{0};
+  std::atomic<std::size_t> peak_{0};
+  std::atomic<std::size_t> allocations_{0};
+};
+
+// RAII helper for note_external/release_external.
+class ExternalAllocation {
+ public:
+  ExternalAllocation(TrackingResource& r, std::size_t bytes) noexcept
+      : r_(&r), bytes_(bytes) {
+    r_->note_external(bytes_);
+  }
+  ~ExternalAllocation() { r_->release_external(bytes_); }
+  ExternalAllocation(const ExternalAllocation&) = delete;
+  ExternalAllocation& operator=(const ExternalAllocation&) = delete;
+
+  // Grow/shrink the accounted size (e.g. vector regrowth).
+  void resize(std::size_t new_bytes) noexcept {
+    r_->release_external(bytes_);
+    bytes_ = new_bytes;
+    r_->note_external(bytes_);
+  }
+
+ private:
+  TrackingResource* r_;
+  std::size_t bytes_;
+};
+
+}  // namespace dnacomp::util

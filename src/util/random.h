@@ -1,0 +1,55 @@
+// Deterministic, fast PRNG (xoshiro256**) used everywhere randomness is
+// needed: corpus generation, context-noise processes, property tests.
+//
+// std::mt19937 would work but its state is large and its distributions are
+// not reproducible across standard-library implementations; we need byte-for-
+// byte reproducible corpora, so both the generator and the distributions are
+// implemented here.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace dnacomp::util {
+
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(std::uint64_t seed) noexcept;
+
+  std::uint64_t next() noexcept;
+
+  // Uniform in [0, bound). bound == 0 is invalid.
+  std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+  // Uniform double in [0, 1).
+  double next_double() noexcept;
+
+  // Uniform double in [lo, hi).
+  double next_double(double lo, double hi) noexcept;
+
+  // True with probability p (clamped to [0,1]).
+  bool next_bool(double p) noexcept;
+
+  // Gaussian via Box-Muller (mean 0, stddev 1).
+  double next_gaussian() noexcept;
+
+  // Geometric-ish heavy-tailed integer length in [min_v, max_v]; used for
+  // repeat lengths in the corpus generator.
+  std::uint64_t next_geometric(double mean, std::uint64_t min_v,
+                               std::uint64_t max_v) noexcept;
+
+  // Derive an independent child generator (for parallel determinism).
+  Xoshiro256 fork() noexcept;
+
+ private:
+  std::uint64_t s_[4];
+  bool have_spare_ = false;
+  double spare_ = 0.0;
+};
+
+// Weighted choice: returns an index in [0, weights.size()) with probability
+// proportional to weights[i]. Weights must be non-negative with positive sum.
+std::size_t weighted_choice(Xoshiro256& rng, std::span<const double> weights);
+
+}  // namespace dnacomp::util

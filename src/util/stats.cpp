@@ -1,0 +1,76 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace dnacomp::util {
+
+Summary summarize(std::span<const double> xs) {
+  Summary s;
+  s.n = xs.size();
+  if (xs.empty()) return s;
+  double sum = 0.0;
+  s.min = xs[0];
+  s.max = xs[0];
+  for (double x : xs) {
+    sum += x;
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+  }
+  s.mean = sum / static_cast<double>(s.n);
+  if (s.n >= 2) {
+    double ss = 0.0;
+    for (double x : xs) ss += (x - s.mean) * (x - s.mean);
+    s.stddev = std::sqrt(ss / static_cast<double>(s.n - 1));
+  }
+  s.median = percentile(xs, 50.0);
+  return s;
+}
+
+double percentile(std::span<const double> xs, double p) {
+  DC_CHECK(!xs.empty());
+  DC_CHECK(p >= 0.0 && p <= 100.0);
+  std::vector<double> v(xs.begin(), xs.end());
+  std::sort(v.begin(), v.end());
+  if (v.size() == 1) return v[0];
+  const double rank = p / 100.0 * static_cast<double>(v.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return v[lo] + (v[hi] - v[lo]) * frac;
+}
+
+std::vector<double> min_max_normalize(std::span<const double> xs) {
+  std::vector<double> out(xs.size(), 0.0);
+  if (xs.empty()) return out;
+  const auto [mn, mx] = std::minmax_element(xs.begin(), xs.end());
+  const double range = *mx - *mn;
+  if (range <= 0.0) return out;
+  for (std::size_t i = 0; i < xs.size(); ++i) out[i] = (xs[i] - *mn) / range;
+  return out;
+}
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  DC_CHECK(xs.size() == ys.size());
+  if (xs.size() < 2) return 0.0;
+  const auto n = static_cast<double>(xs.size());
+  double sx = 0, sy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+  }
+  const double mx = sx / n, my = sy / n;
+  double sxy = 0, sxx = 0, syy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx, dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+}  // namespace dnacomp::util

@@ -1,0 +1,32 @@
+// Small descriptive-statistics helpers used by benches and the labeler.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace dnacomp::util {
+
+struct Summary {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  // sample stddev (n-1); 0 when n < 2
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+};
+
+Summary summarize(std::span<const double> xs);
+
+// Percentile with linear interpolation; p in [0,100].
+double percentile(std::span<const double> xs, double p);
+
+// Min-max normalisation to [0,1]; constant input maps to all zeros.
+// Used by the fig10/fig12-style "analysis based on context" series, which the
+// paper plots with normalised CPU/RAM/file-size values.
+std::vector<double> min_max_normalize(std::span<const double> xs);
+
+// Pearson correlation; returns 0 when either side is constant.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+}  // namespace dnacomp::util

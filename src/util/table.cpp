@@ -1,0 +1,79 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace dnacomp::util {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  DC_CHECK(!headers_.empty());
+}
+
+TablePrinter& TablePrinter::add_row(std::vector<std::string> cells) {
+  DC_CHECK_MSG(cells.size() == headers_.size(), "row width != header width");
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string TablePrinter::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string TablePrinter::pct(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+std::string TablePrinter::bytes(std::uint64_t n) {
+  char buf[64];
+  if (n < 1024) {
+    std::snprintf(buf, sizeof buf, "%llu B",
+                  static_cast<unsigned long long>(n));
+  } else if (n < 1024ULL * 1024) {
+    std::snprintf(buf, sizeof buf, "%.1f KB", static_cast<double>(n) / 1024.0);
+  } else if (n < 1024ULL * 1024 * 1024) {
+    std::snprintf(buf, sizeof buf, "%.2f MB",
+                  static_cast<double>(n) / (1024.0 * 1024.0));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2f GB",
+                  static_cast<double>(n) / (1024.0 * 1024.0 * 1024.0));
+  }
+  return buf;
+}
+
+void TablePrinter::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto print_sep = [&] {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      os << '+' << std::string(widths[c] + 2, '-');
+    }
+    os << "+\n";
+  };
+  auto print_cells = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& v = cells[c];
+      os << "| " << v << std::string(widths[c] - v.size() + 1, ' ');
+    }
+    os << "|\n";
+  };
+
+  print_sep();
+  print_cells(headers_);
+  print_sep();
+  for (const auto& row : rows_) print_cells(row);
+  print_sep();
+}
+
+}  // namespace dnacomp::util

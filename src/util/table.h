@@ -1,0 +1,31 @@
+// Fixed-width console table printer. Every bench prints the rows/series the
+// corresponding paper table/figure reports; this keeps the output aligned and
+// diff-friendly.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dnacomp::util {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  TablePrinter& add_row(std::vector<std::string> cells);
+
+  // Formatting helpers for cells.
+  static std::string num(double v, int precision = 2);
+  static std::string bytes(std::uint64_t n);  // human-readable, e.g. "1.2 MB"
+  static std::string pct(double fraction, int precision = 2);
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dnacomp::util

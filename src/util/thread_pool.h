@@ -1,0 +1,45 @@
+// Fixed-size thread pool used to run the experiment grid (file × algorithm
+// measurements) in parallel. Deterministic results are preserved by giving
+// each task its own pre-forked RNG and writing into a pre-sized slot.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace dnacomp::util {
+
+class ThreadPool {
+ public:
+  // n_threads == 0 means hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t n_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  // Enqueue a task; returns a future for its completion.
+  std::future<void> submit(std::function<void()> task);
+
+  // Run fn(i) for i in [0, n) across the pool and wait for all of them.
+  // Exceptions from tasks are rethrown (first one wins).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace dnacomp::util

@@ -1,0 +1,26 @@
+// Monotonic wall-clock stopwatch for the experiment runner.
+#pragma once
+
+#include <chrono>
+
+namespace dnacomp::util {
+
+class Stopwatch {
+ public:
+  Stopwatch() noexcept : start_(clock::now()) {}
+
+  void reset() noexcept { start_ = clock::now(); }
+
+  double elapsed_ms() const noexcept {
+    return std::chrono::duration<double, std::milli>(clock::now() - start_)
+        .count();
+  }
+
+  double elapsed_s() const noexcept { return elapsed_ms() / 1000.0; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace dnacomp::util

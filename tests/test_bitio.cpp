@@ -1,0 +1,395 @@
+// Unit + property tests for src/bitio: bit streams, the range coder,
+// adaptive models, Fibonacci/Elias codes and canonical Huffman.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "bitio/bit_stream.h"
+#include "bitio/elias.h"
+#include "bitio/fibonacci.h"
+#include "bitio/huffman.h"
+#include "bitio/models.h"
+#include "bitio/range_coder.h"
+#include "util/random.h"
+
+namespace dnacomp::bitio {
+namespace {
+
+TEST(BitStream, RoundTripMixedWidths) {
+  BitWriter bw;
+  bw.write_bits(0b101, 3);
+  bw.write_bits(0xDEADBEEFCAFEBABEULL, 64);
+  bw.write_bit(1);
+  bw.write_bits(0, 0);  // no-op
+  bw.write_bits(0x7F, 7);
+  const auto bytes = bw.finish();
+
+  BitReader br(bytes);
+  EXPECT_EQ(br.read_bits(3), 0b101u);
+  EXPECT_EQ(br.read_bits(64), 0xDEADBEEFCAFEBABEULL);
+  EXPECT_EQ(br.read_bit(), 1u);
+  EXPECT_EQ(br.read_bits(7), 0x7Fu);
+  EXPECT_FALSE(br.overflowed());
+}
+
+TEST(BitStream, PropertyRandomRoundTrip) {
+  util::Xoshiro256 rng(42);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<std::pair<std::uint64_t, unsigned>> items;
+    BitWriter bw;
+    for (int i = 0; i < 200; ++i) {
+      const unsigned n = 1 + static_cast<unsigned>(rng.next_below(64));
+      std::uint64_t v = rng.next();
+      if (n < 64) v &= (1ULL << n) - 1;
+      items.emplace_back(v, n);
+      bw.write_bits(v, n);
+    }
+    const auto bytes = bw.finish();
+    BitReader br(bytes);
+    for (const auto& [v, n] : items) {
+      ASSERT_EQ(br.read_bits(n), v);
+    }
+    EXPECT_FALSE(br.overflowed());
+  }
+}
+
+TEST(BitStream, ReaderOverflowsGracefully) {
+  const std::vector<std::uint8_t> one_byte = {0xFF};
+  BitReader br(one_byte);
+  EXPECT_EQ(br.read_bits(8), 0xFFu);
+  EXPECT_FALSE(br.overflowed());
+  br.read_bits(4);
+  EXPECT_TRUE(br.overflowed());
+}
+
+TEST(BitStream, MsbFirstLayout) {
+  BitWriter bw;
+  bw.write_bit(1);
+  bw.write_bit(0);
+  bw.write_bit(1);
+  const auto bytes = bw.finish();
+  ASSERT_EQ(bytes.size(), 1u);
+  EXPECT_EQ(bytes[0], 0b10100000);
+}
+
+TEST(RangeCoder, FixedProbabilityRoundTrip) {
+  util::Xoshiro256 rng(1);
+  std::vector<unsigned> bits;
+  RangeEncoder enc;
+  for (int i = 0; i < 20000; ++i) {
+    const unsigned b = rng.next_bool(0.2) ? 1u : 0u;
+    bits.push_back(b);
+    enc.encode_bit(3000, b);  // p0 fixed
+  }
+  const auto data = enc.finish();
+  RangeDecoder dec(data);
+  for (const unsigned expected : bits) {
+    ASSERT_EQ(dec.decode_bit(3000), expected);
+  }
+  EXPECT_FALSE(dec.overflowed());
+}
+
+TEST(RangeCoder, SkewedInputCompressesNearEntropy) {
+  // 5% ones with an accurate model must code well under 1 bit per symbol.
+  util::Xoshiro256 rng(2);
+  RangeEncoder enc;
+  const int n = 100000;
+  const double p1 = 0.05;
+  const auto p0_fixed =
+      static_cast<std::uint32_t>((1.0 - p1) * kProbOne);
+  for (int i = 0; i < n; ++i) {
+    enc.encode_bit(p0_fixed, rng.next_bool(p1) ? 1u : 0u);
+  }
+  const auto data = enc.finish();
+  const double entropy =
+      -p1 * std::log2(p1) - (1 - p1) * std::log2(1 - p1);  // ~0.286
+  const double bits_per_symbol = 8.0 * data.size() / n;
+  EXPECT_LT(bits_per_symbol, entropy * 1.05);
+  EXPECT_GT(bits_per_symbol, entropy * 0.95);
+}
+
+TEST(RangeCoder, DoubleProbabilityRoundTrip) {
+  util::Xoshiro256 rng(3);
+  std::vector<std::pair<double, unsigned>> seq;
+  RangeEncoder enc;
+  for (int i = 0; i < 20000; ++i) {
+    const double p0 = rng.next_double(0.001, 0.999);
+    const unsigned b = rng.next_bool(1.0 - p0) ? 1u : 0u;
+    seq.emplace_back(p0, b);
+    enc.encode_bit_p(p0, b);
+  }
+  const auto data = enc.finish();
+  RangeDecoder dec(data);
+  for (const auto& [p0, b] : seq) {
+    ASSERT_EQ(dec.decode_bit_p(p0), b);
+  }
+}
+
+TEST(RangeCoder, DirectBitsRoundTrip) {
+  util::Xoshiro256 rng(4);
+  std::vector<std::pair<std::uint64_t, unsigned>> vals;
+  RangeEncoder enc;
+  for (int i = 0; i < 3000; ++i) {
+    const unsigned n = 1 + static_cast<unsigned>(rng.next_below(32));
+    const std::uint64_t v = rng.next() & ((n < 64 ? 1ULL << n : 0) - 1);
+    vals.emplace_back(v, n);
+    enc.encode_direct(v, n);
+  }
+  const auto data = enc.finish();
+  RangeDecoder dec(data);
+  for (const auto& [v, n] : vals) {
+    ASSERT_EQ(dec.decode_direct(n), v);
+  }
+}
+
+TEST(RangeCoder, MixedModesInterleaved) {
+  util::Xoshiro256 rng(5);
+  RangeEncoder enc;
+  std::vector<unsigned> bits;
+  std::vector<std::uint64_t> raws;
+  for (int i = 0; i < 4000; ++i) {
+    const unsigned b = rng.next_bool(0.7) ? 1u : 0u;
+    bits.push_back(b);
+    enc.encode_bit(1200, b);
+    const std::uint64_t raw = rng.next_below(256);
+    raws.push_back(raw);
+    enc.encode_direct(raw, 8);
+  }
+  const auto data = enc.finish();
+  RangeDecoder dec(data);
+  for (int i = 0; i < 4000; ++i) {
+    ASSERT_EQ(dec.decode_bit(1200), bits[static_cast<std::size_t>(i)]);
+    ASSERT_EQ(dec.decode_direct(8), raws[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(RangeCoder, ProbabilityToBoundClamps) {
+  EXPECT_GE(probability_to_bound(0.0, 1000), 1u);
+  EXPECT_LT(probability_to_bound(1.0, 1000), 1000u);
+}
+
+TEST(Models, AdaptiveBitModelLearnsSkew) {
+  AdaptiveBitModel m;
+  RangeEncoder enc;
+  for (int i = 0; i < 1000; ++i) m.encode(enc, 0);
+  EXPECT_GT(m.p0(), kProbOne * 9 / 10);  // adapted towards zeros
+  (void)enc.finish();
+}
+
+TEST(Models, BitTreeRoundTrip) {
+  util::Xoshiro256 rng(6);
+  BitTreeModel enc_model(6);
+  RangeEncoder enc;
+  std::vector<std::uint32_t> symbols;
+  for (int i = 0; i < 5000; ++i) {
+    const auto s = static_cast<std::uint32_t>(rng.next_below(64));
+    symbols.push_back(s);
+    enc_model.encode(enc, s);
+  }
+  const auto data = enc.finish();
+  BitTreeModel dec_model(6);
+  RangeDecoder dec(data);
+  for (const auto expected : symbols) {
+    ASSERT_EQ(dec_model.decode(dec), expected);
+  }
+}
+
+TEST(Models, OrderKBaseModelRoundTripAndLearning) {
+  // A deterministic repeating pattern should compress far below 2 bpc with
+  // an order-2 model.
+  OrderKBaseModel enc_model(2);
+  RangeEncoder enc;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    enc_model.encode(enc, static_cast<unsigned>(i % 4));
+  }
+  const auto data = enc.finish();
+  EXPECT_LT(8.0 * data.size() / n, 0.2);
+
+  OrderKBaseModel dec_model(2);
+  RangeDecoder dec(data);
+  for (int i = 0; i < n; ++i) {
+    ASSERT_EQ(dec_model.decode(dec), static_cast<unsigned>(i % 4));
+  }
+}
+
+TEST(Models, UIntModelRoundTripExtremes) {
+  UIntModel enc_model(40);
+  RangeEncoder enc;
+  std::vector<std::uint64_t> values = {0, 1, 2, 3, 255, 256,
+                                       (1ULL << 40) - 1};
+  util::Xoshiro256 rng(8);
+  for (int i = 0; i < 3000; ++i) {
+    values.push_back(rng.next() & ((1ULL << 40) - 1));
+  }
+  for (const auto v : values) enc_model.encode(enc, v);
+  const auto data = enc.finish();
+  UIntModel dec_model(40);
+  RangeDecoder dec(data);
+  for (const auto v : values) {
+    ASSERT_EQ(dec_model.decode(dec), v);
+  }
+}
+
+TEST(Models, KTBitModelEstimates) {
+  KTBitModel m;
+  EXPECT_DOUBLE_EQ(m.p0(), 0.5);
+  m.update(0);
+  EXPECT_DOUBLE_EQ(m.p0(), 1.5 / 2.0);
+  m.update(1);
+  m.update(1);
+  EXPECT_DOUBLE_EQ(m.p0(), 1.5 / 4.0);
+}
+
+class IntegerCodeTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IntegerCodeTest, FibonacciRoundTrip) {
+  const std::uint64_t v = GetParam();
+  BitWriter bw;
+  fibonacci_encode(bw, v);
+  EXPECT_EQ(bw.bit_count(), fibonacci_code_length(v));
+  const auto bytes = bw.finish();
+  BitReader br(bytes);
+  EXPECT_EQ(fibonacci_decode(br), v);
+}
+
+TEST_P(IntegerCodeTest, EliasGammaRoundTrip) {
+  const std::uint64_t v = GetParam();
+  BitWriter bw;
+  elias_gamma_encode(bw, v);
+  EXPECT_EQ(bw.bit_count(), elias_gamma_length(v));
+  const auto bytes = bw.finish();
+  BitReader br(bytes);
+  EXPECT_EQ(elias_gamma_decode(br), v);
+}
+
+TEST_P(IntegerCodeTest, EliasDeltaRoundTrip) {
+  const std::uint64_t v = GetParam();
+  BitWriter bw;
+  elias_delta_encode(bw, v);
+  EXPECT_EQ(bw.bit_count(), elias_delta_length(v));
+  const auto bytes = bw.finish();
+  BitReader br(bytes);
+  EXPECT_EQ(elias_delta_decode(br), v);
+}
+
+INSTANTIATE_TEST_SUITE_P(Boundaries, IntegerCodeTest,
+                         ::testing::Values(1ull, 2ull, 3ull, 4ull, 5ull, 7ull,
+                                           8ull, 12ull, 13ull, 100ull, 1000ull,
+                                           123456789ull, 1ull << 40,
+                                           (1ull << 62) - 1));
+
+TEST(Fibonacci, SequenceRoundTripTightPacking) {
+  BitWriter bw;
+  for (std::uint64_t v = 1; v <= 500; ++v) fibonacci_encode(bw, v);
+  const auto bytes = bw.finish();
+  BitReader br(bytes);
+  for (std::uint64_t v = 1; v <= 500; ++v) {
+    ASSERT_EQ(fibonacci_decode(br), v);
+  }
+}
+
+TEST(Fibonacci, MalformedReturnsZero) {
+  const std::vector<std::uint8_t> zeros(4, 0);
+  BitReader br(zeros);
+  EXPECT_EQ(fibonacci_decode(br), 0u);
+}
+
+TEST(Huffman, LengthsSatisfyKraftAndRoundTrip) {
+  util::Xoshiro256 rng(10);
+  std::vector<std::uint64_t> freqs(64, 0);
+  for (auto& f : freqs) f = rng.next_below(1000);
+  freqs[0] = 0;  // zero-frequency symbol must get no code
+  const auto lengths = huffman_code_lengths(freqs, 15);
+  EXPECT_EQ(lengths[0], 0u);
+  double kraft = 0;
+  for (const auto l : lengths) {
+    if (l > 0) kraft += std::pow(2.0, -static_cast<double>(l));
+  }
+  EXPECT_LE(kraft, 1.0 + 1e-12);
+
+  HuffmanEncoder enc(lengths);
+  HuffmanDecoder dec(lengths);
+  BitWriter bw;
+  std::vector<std::uint32_t> symbols;
+  for (int i = 0; i < 5000; ++i) {
+    std::uint32_t s;
+    do {
+      s = static_cast<std::uint32_t>(rng.next_below(64));
+    } while (lengths[s] == 0);
+    symbols.push_back(s);
+    enc.encode(bw, s);
+  }
+  const auto bytes = bw.finish();
+  BitReader br(bytes);
+  for (const auto expected : symbols) {
+    ASSERT_EQ(dec.decode(br), expected);
+  }
+}
+
+TEST(Huffman, LengthLimitEnforced) {
+  // Fibonacci-like frequencies force very deep trees without a limit.
+  std::vector<std::uint64_t> freqs(40);
+  std::uint64_t a = 1, b = 1;
+  for (auto& f : freqs) {
+    f = a;
+    const std::uint64_t t = a + b;
+    a = b;
+    b = t;
+  }
+  const auto lengths = huffman_code_lengths(freqs, 12);
+  unsigned max_len = 0;
+  double kraft = 0;
+  for (const auto l : lengths) {
+    max_len = std::max<unsigned>(max_len, l);
+    if (l) kraft += std::pow(2.0, -static_cast<double>(l));
+  }
+  EXPECT_LE(max_len, 12u);
+  EXPECT_LE(kraft, 1.0 + 1e-12);
+
+  // Round-trip still works after the limit pass.
+  HuffmanEncoder enc(lengths);
+  HuffmanDecoder dec(lengths);
+  BitWriter bw;
+  for (std::uint32_t s = 0; s < 40; ++s) enc.encode(bw, s);
+  const auto bytes = bw.finish();
+  BitReader br(bytes);
+  for (std::uint32_t s = 0; s < 40; ++s) {
+    ASSERT_EQ(dec.decode(br), s);
+  }
+}
+
+TEST(Huffman, SingleSymbolAlphabet) {
+  std::vector<std::uint64_t> freqs(10, 0);
+  freqs[3] = 7;
+  const auto lengths = huffman_code_lengths(freqs);
+  EXPECT_EQ(lengths[3], 1u);
+  HuffmanEncoder enc(lengths);
+  HuffmanDecoder dec(lengths);
+  BitWriter bw;
+  enc.encode(bw, 3);
+  const auto bytes = bw.finish();
+  BitReader br(bytes);
+  EXPECT_EQ(dec.decode(br), 3u);
+}
+
+TEST(Huffman, OptimalForUniform) {
+  // 8 equal symbols -> all codes exactly 3 bits.
+  std::vector<std::uint64_t> freqs(8, 100);
+  const auto lengths = huffman_code_lengths(freqs);
+  for (const auto l : lengths) EXPECT_EQ(l, 3u);
+}
+
+TEST(Huffman, DecoderRejectsGarbage) {
+  std::vector<std::uint64_t> freqs = {10, 1};  // codes: 1 bit each
+  const auto lengths = huffman_code_lengths(freqs);
+  HuffmanDecoder dec(lengths);
+  const std::vector<std::uint8_t> empty;
+  BitReader br(empty);
+  EXPECT_EQ(dec.decode(br), dec.symbol_count());
+}
+
+}  // namespace
+}  // namespace dnacomp::bitio

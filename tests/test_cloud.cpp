@@ -1,0 +1,207 @@
+// Tests for src/cloud: VM catalogue/context grid, the blob store, and the
+// transfer cost model.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "cloud/blob_store.h"
+#include "cloud/transfer_model.h"
+#include "cloud/vm.h"
+
+namespace dnacomp::cloud {
+namespace {
+
+std::vector<std::uint8_t> make_payload(std::size_t n) {
+  std::vector<std::uint8_t> data(n);
+  for (std::size_t i = 0; i < n; ++i) data[i] = static_cast<std::uint8_t>(i);
+  return data;
+}
+
+TEST(Vm, ContextGridHas32UniqueCells) {
+  const auto grid = context_grid();
+  ASSERT_EQ(grid.size(), 32u);
+  std::set<std::tuple<double, double, double>> unique;
+  for (const auto& vm : grid) {
+    unique.insert({vm.ram_gb, vm.cpu_ghz, vm.bandwidth_mbps});
+  }
+  EXPECT_EQ(unique.size(), 32u);
+}
+
+TEST(Vm, PaperMachinesMatchSection4A) {
+  const auto machines = paper_machines();
+  ASSERT_EQ(machines.size(), 3u);
+  EXPECT_DOUBLE_EQ(machines[0].spec.cpu_ghz, 2.4);  // i5
+  EXPECT_DOUBLE_EQ(machines[0].spec.ram_gb, 6.0);
+  EXPECT_DOUBLE_EQ(machines[1].spec.cpu_ghz, 2.0);  // core 2 duo
+  EXPECT_DOUBLE_EQ(machines[1].spec.ram_gb, 3.0);
+  EXPECT_TRUE(machines[2].is_cloud);                // azure
+  EXPECT_DOUBLE_EQ(machines[2].spec.cpu_ghz, 2.1);
+  EXPECT_DOUBLE_EQ(machines[2].spec.ram_gb, 3.5);
+}
+
+TEST(Vm, ContextLabelIsReadable) {
+  const VmSpec vm{2.4, 4.0, 8.0};
+  EXPECT_EQ(context_label(vm), "ram=4GB cpu=2.4GHz bw=8Mbps");
+}
+
+TEST(BlobStore, ContainerLifecycle) {
+  BlobStore store;
+  EXPECT_TRUE(store.create_container("c1"));
+  EXPECT_FALSE(store.create_container("c1"));  // already exists
+  EXPECT_EQ(store.list_containers(), std::vector<std::string>{"c1"});
+  EXPECT_TRUE(store.delete_container("c1"));
+  EXPECT_FALSE(store.delete_container("c1"));
+}
+
+TEST(BlobStore, PutGetDeleteBlob) {
+  BlobStore store;
+  store.create_container("data");
+  const auto payload = make_payload(1000);
+  store.put_blob("data", "seq.fa", payload);
+  const auto back = store.get_blob("data", "seq.fa");
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, payload);
+  const auto props = store.get_properties("data", "seq.fa");
+  ASSERT_TRUE(props.has_value());
+  EXPECT_EQ(props->size_bytes, 1000u);
+  EXPECT_EQ(props->block_count, 1u);
+  EXPECT_TRUE(store.delete_blob("data", "seq.fa"));
+  EXPECT_FALSE(store.get_blob("data", "seq.fa").has_value());
+}
+
+TEST(BlobStore, PutIntoMissingContainerThrows) {
+  BlobStore store;
+  EXPECT_THROW(store.put_blob("nope", "b", make_payload(10)),
+               std::runtime_error);
+}
+
+TEST(BlobStore, StagedBlockUploadAssemblesInListOrder) {
+  BlobStore store;
+  store.create_container("c");
+  store.stage_block("c", "b", "blk2", make_payload(3));
+  std::vector<std::uint8_t> first = {9, 9};
+  store.stage_block("c", "b", "blk1", first);
+  store.commit_block_list("c", "b", {"blk1", "blk2"});
+  const auto blob = store.get_blob("c", "b");
+  ASSERT_TRUE(blob.has_value());
+  EXPECT_EQ(*blob, (std::vector<std::uint8_t>{9, 9, 0, 1, 2}));
+  const auto props = store.get_properties("c", "b");
+  EXPECT_EQ(props->block_count, 2u);
+}
+
+TEST(BlobStore, CommitUnknownBlockThrows) {
+  BlobStore store;
+  store.create_container("c");
+  store.stage_block("c", "b", "blk1", make_payload(3));
+  EXPECT_THROW(store.commit_block_list("c", "b", {"blk1", "missing"}),
+               std::runtime_error);
+}
+
+TEST(BlobStore, BlocksForMatchesAzureBlockSize) {
+  EXPECT_EQ(BlobStore::blocks_for(0), 1u);
+  EXPECT_EQ(BlobStore::blocks_for(1), 1u);
+  EXPECT_EQ(BlobStore::blocks_for(BlobStore::kBlockSize), 1u);
+  EXPECT_EQ(BlobStore::blocks_for(BlobStore::kBlockSize + 1), 2u);
+}
+
+TEST(BlobStore, TotalBytesAcrossContainers) {
+  BlobStore store;
+  store.create_container("a");
+  store.create_container("b");
+  store.put_blob("a", "x", make_payload(10));
+  store.put_blob("b", "y", make_payload(20));
+  EXPECT_EQ(store.total_bytes(), 30u);
+}
+
+TEST(BlobStore, ConcurrentUploadsAreSafe) {
+  BlobStore store;
+  store.create_container("c");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&store, t] {
+      for (int i = 0; i < 50; ++i) {
+        store.put_blob("c", "blob" + std::to_string(t * 100 + i),
+                       make_payload(64));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(store.list_blobs("c").size(), 400u);
+}
+
+// ------------------------------------------------------- transfer model
+
+TEST(TransferModel, UploadScalesWithSizeAndBandwidth) {
+  const TransferModel model;
+  const VmSpec fast{2.4, 4.0, 8.0};
+  const VmSpec slow_link{2.4, 4.0, 1.0};
+  const double t_small = model.upload_time_ms(50'000, fast);
+  const double t_big = model.upload_time_ms(500'000, fast);
+  EXPECT_GT(t_big, t_small);
+  EXPECT_GT(model.upload_time_ms(500'000, slow_link), t_big);
+}
+
+TEST(TransferModel, UploadDependsOnCpuAndRamNotJustBandwidth) {
+  // The paper's §IV-A observation.
+  const TransferModel model;
+  const VmSpec base{2.4, 4.0, 8.0};
+  VmSpec weak_cpu = base;
+  weak_cpu.cpu_ghz = 1.6;
+  VmSpec weak_ram = base;
+  weak_ram.ram_gb = 1.0;
+  const double t = model.upload_time_ms(500'000, base);
+  EXPECT_GT(model.upload_time_ms(500'000, weak_cpu), t);
+  EXPECT_GT(model.upload_time_ms(500'000, weak_ram), t);
+}
+
+TEST(TransferModel, DownloadDependsOnlyOnSize) {
+  const TransferModel model;
+  EXPECT_GT(model.download_time_ms(1'000'000),
+            model.download_time_ms(10'000));
+  // Per-block latency shows up at block boundaries.
+  const double one_block = model.download_time_ms(BlobStore::kBlockSize);
+  const double two_blocks = model.download_time_ms(BlobStore::kBlockSize + 1);
+  EXPECT_GT(two_blocks, one_block);
+}
+
+TEST(TransferModel, ComputeScalingByCpuRatio) {
+  const TransferModel model;
+  const VmSpec half_speed{1.2, 16.0, 8.0};  // huge RAM: no memory effects
+  const VmSpec ref{2.4, 16.0, 8.0};
+  const double at_ref = model.scale_compute_ms(100.0, 1 << 20, ref);
+  const double at_half = model.scale_compute_ms(100.0, 1 << 20, half_speed);
+  EXPECT_NEAR(at_half / at_ref, 2.0, 0.01);
+}
+
+TEST(TransferModel, RamPenaltyKicksInOverBudget) {
+  const TransferModel model;
+  const VmSpec tiny{2.4, 1.0, 8.0};  // 1 GB VM
+  EXPECT_DOUBLE_EQ(model.ram_penalty(100 << 20, tiny), 1.0);  // fits
+  const std::size_t one_gb = std::size_t{1} << 30;
+  EXPECT_GT(model.ram_penalty(one_gb, tiny), 1.0);  // over 50% of RAM
+  // Cap respected.
+  EXPECT_LE(model.ram_penalty(64 * one_gb, tiny),
+            model.params().max_compute_slowdown);
+}
+
+TEST(TransferModel, RamSpeedFactorDecreasesWithRam) {
+  const TransferModel model;
+  EXPECT_GT(model.ram_speed_factor({2.4, 1.0, 8.0}),
+            model.ram_speed_factor({2.4, 6.0, 8.0}));
+  EXPECT_GE(model.ram_speed_factor({2.4, 64.0, 8.0}), 1.0);
+}
+
+TEST(TransferModel, WireTimeMatchesBandwidthArithmetic) {
+  TransferModelParams p;
+  p.serialize_mbps_at_ref = 1e9;  // neutralize serialization
+  p.block_latency_ms = 0.0;
+  p.ram_pressure_coeff = 0.0;
+  const TransferModel model(p);
+  const VmSpec vm{2.4, 4.0, 8.0};  // 8 Mbit/s = 1e6 B/s
+  const double ms = model.upload_time_ms(1'000'000, vm);
+  EXPECT_NEAR(ms, 1000.0, 1.0);
+}
+
+}  // namespace
+}  // namespace dnacomp::cloud

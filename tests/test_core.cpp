@@ -1,0 +1,362 @@
+// Tests for src/core: oracles, the experiment grid, the labeling equation
+// and the training pipeline. Uses the AnalyticCostOracle so results are
+// deterministic and fast; the benches run the real oracle.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+
+#include "core/experiment.h"
+#include "core/labeling.h"
+#include "core/measurement.h"
+#include "core/training.h"
+
+namespace dnacomp::core {
+namespace {
+
+sequence::CorpusOptions small_corpus_options() {
+  sequence::CorpusOptions opts;
+  opts.synthetic_count = 25;  // 32 files total: fast but non-trivial
+  opts.min_size = 8192;
+  opts.max_size = 262144;
+  return opts;
+}
+
+TEST(AnalyticOracle, MatchesDocumentedShape) {
+  AnalyticCostOracle oracle;
+  sequence::CorpusFile file;
+  file.name = "f";
+  file.data = std::string(200'000, 'A');
+
+  const auto ctw = oracle.measure(file, "ctw");
+  const auto dnax = oracle.measure(file, "dnax");
+  const auto gen = oracle.measure(file, "gencompress");
+  const auto gzip = oracle.measure(file, "gzip");
+
+  // Ratio ordering (Fig. 4): gen < ctw < dnax < gzip is approximated by the
+  // analytic bpc constants with ctw/dnax close.
+  EXPECT_LT(gen.compressed_bytes, ctw.compressed_bytes);
+  EXPECT_LT(dnax.compressed_bytes, gzip.compressed_bytes);
+  // Compression speed (Fig. 5): dnax fastest, gen and ctw slowest.
+  EXPECT_LT(dnax.compress_ms, gzip.compress_ms);
+  EXPECT_LT(gzip.compress_ms, ctw.compress_ms);
+  EXPECT_GT(gen.compress_ms, dnax.compress_ms);
+  // Decompression (Fig. 6 + §V): ctw by far the slowest.
+  EXPECT_GT(ctw.decompress_ms, 10 * dnax.decompress_ms);
+  // RAM: ctw > gen > dnax > gzip.
+  EXPECT_GT(ctw.peak_ram_bytes, gen.peak_ram_bytes);
+  EXPECT_GT(gen.peak_ram_bytes, dnax.peak_ram_bytes);
+  EXPECT_GT(dnax.peak_ram_bytes, gzip.peak_ram_bytes);
+  EXPECT_THROW((void)oracle.measure(file, "nope"), std::invalid_argument);
+}
+
+TEST(AnalyticOracle, GenCompressIsSuperlinear) {
+  AnalyticCostOracle oracle;
+  sequence::CorpusFile small, big;
+  small.data = std::string(50'000, 'A');
+  big.data = std::string(500'000, 'A');
+  const double t_small = oracle.measure(small, "gencompress").compress_ms;
+  const double t_big = oracle.measure(big, "gencompress").compress_ms;
+  // 10x the input must cost clearly more than 10x the time.
+  EXPECT_GT(t_big, 20.0 * t_small);
+}
+
+TEST(RealOracle, MeasuresAndCachesRoundTrip) {
+  const std::string cache =
+      (std::filesystem::path(::testing::TempDir()) / "oracle_cache.csv")
+          .string();
+  std::filesystem::remove(cache);
+
+  sequence::GeneratorParams gp;
+  gp.length = 20'000;
+  gp.seed = 77;
+  sequence::CorpusFile file;
+  file.name = "probe";
+  file.params = gp;
+  file.data = sequence::generate_dna(gp);
+
+  MeasuredCosts first;
+  {
+    RealCostOracleOptions opts;
+    opts.cache_path = cache;
+    RealCostOracle oracle(opts);
+    first = oracle.measure(file, "dnax");
+    EXPECT_EQ(oracle.cache_misses(), 1u);
+    EXPECT_EQ(oracle.measure(file, "dnax").compressed_bytes,
+              first.compressed_bytes);
+    EXPECT_EQ(oracle.cache_hits(), 1u);
+  }  // destructor persists the cache
+  {
+    RealCostOracleOptions opts;
+    opts.cache_path = cache;
+    RealCostOracle oracle(opts);
+    const auto again = oracle.measure(file, "dnax");
+    EXPECT_EQ(oracle.cache_misses(), 0u);
+    EXPECT_EQ(again.compressed_bytes, first.compressed_bytes);
+    EXPECT_EQ(again.peak_ram_bytes, first.peak_ram_bytes);
+  }
+  EXPECT_GT(first.compressed_bytes, 0u);
+  EXPECT_LT(first.compressed_bytes, file.data.size());
+  EXPECT_EQ(first.original_bytes, file.data.size());
+}
+
+TEST(Experiment, GridShapeMatchesPaperArithmetic) {
+  const auto corpus = sequence::build_corpus(small_corpus_options());
+  const auto contexts = cloud::context_grid();
+  AnalyticCostOracle oracle;
+  ExperimentConfig cfg;
+  const auto rows = run_experiments(corpus, contexts, oracle, cfg);
+  // files x contexts x algorithms.
+  EXPECT_EQ(rows.size(), corpus.size() * 32 * 4);
+  // Row order: file-major, context, algorithm.
+  EXPECT_EQ(rows[0].algorithm, "ctw");
+  EXPECT_EQ(rows[1].algorithm, "dnax");
+  EXPECT_EQ(rows[4].algorithm, "ctw");
+  EXPECT_EQ(rows[0].file_index, 0u);
+  EXPECT_EQ(rows[32 * 4].file_index, 1u);
+  for (const auto& r : rows) {
+    EXPECT_GT(r.compress_ms, 0.0);
+    EXPECT_GT(r.upload_ms, 0.0);
+    EXPECT_GT(r.download_ms, 0.0);
+    EXPECT_GT(r.ram_used_bytes, 0.0);
+  }
+}
+
+TEST(Experiment, DeterministicAcrossRuns) {
+  const auto corpus = sequence::build_corpus(small_corpus_options());
+  const auto contexts = cloud::context_grid();
+  AnalyticCostOracle oracle;
+  ExperimentConfig cfg;
+  const auto a = run_experiments(corpus, contexts, oracle, cfg);
+  const auto b = run_experiments(corpus, contexts, oracle, cfg);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].compress_ms, b[i].compress_ms);
+    EXPECT_DOUBLE_EQ(a[i].ram_used_bytes, b[i].ram_used_bytes);
+  }
+}
+
+TEST(Experiment, NoiseDoublesRamUnderHighCpuLoad) {
+  const auto corpus = sequence::build_corpus(small_corpus_options());
+  const auto contexts = cloud::context_grid();
+  AnalyticCostOracle oracle;
+  ExperimentConfig noisy;
+  ExperimentConfig clean;
+  clean.noise.enabled = false;
+  const auto with_noise = run_experiments(corpus, contexts, oracle, noisy);
+  const auto without = run_experiments(corpus, contexts, oracle, clean);
+  ASSERT_EQ(with_noise.size(), without.size());
+  // The paper's §V-E observation: cells whose sampled CPU load exceeds 30%
+  // must show doubled RAM relative to overhead+working set.
+  std::size_t high_load_cells = 0;
+  for (std::size_t i = 0; i < with_noise.size(); ++i) {
+    if (with_noise[i].cpu_load_pct >= 30.0) {
+      ++high_load_cells;
+      EXPECT_GT(with_noise[i].ram_used_bytes,
+                1.9 * without[i].ram_used_bytes);
+    }
+  }
+  EXPECT_GT(high_load_cells, with_noise.size() / 20);  // spikes do happen
+}
+
+TEST(Experiment, ContextProjectionDirections) {
+  // Same file+algo: slower CPU => slower compression; lower bandwidth =>
+  // slower upload; compressed size is context-invariant (paper: "The
+  // context doesn't change the compression ratio").
+  const auto corpus = sequence::build_corpus(small_corpus_options());
+  const auto contexts = cloud::context_grid();
+  AnalyticCostOracle oracle;
+  ExperimentConfig cfg;
+  cfg.noise.enabled = false;
+  const auto rows = run_experiments(corpus, contexts, oracle, cfg);
+  const auto find_row = [&](double cpu, double ram, double bw,
+                            const std::string& algo) -> const ExperimentRow& {
+    for (const auto& r : rows) {
+      if (r.file_index == 5 && r.algorithm == algo &&
+          r.context.cpu_ghz == cpu && r.context.ram_gb == ram &&
+          r.context.bandwidth_mbps == bw) {
+        return r;
+      }
+    }
+    throw std::runtime_error("row not found");
+  };
+  const auto& slow_cpu = find_row(1.6, 4.0, 8.0, "dnax");
+  const auto& fast_cpu = find_row(3.0, 4.0, 8.0, "dnax");
+  EXPECT_GT(slow_cpu.compress_ms, fast_cpu.compress_ms);
+  const auto& slow_bw = find_row(2.4, 4.0, 1.0, "dnax");
+  const auto& fast_bw = find_row(2.4, 4.0, 8.0, "dnax");
+  EXPECT_GT(slow_bw.upload_ms, fast_bw.upload_ms);
+  EXPECT_EQ(slow_bw.compressed_bytes, fast_bw.compressed_bytes);
+}
+
+// ---------------------------------------------------------------- labeling
+
+TEST(Labeling, SingleVariableWeightsReduceToArgmin) {
+  const auto corpus = sequence::build_corpus(small_corpus_options());
+  const auto contexts = cloud::context_grid();
+  AnalyticCostOracle oracle;
+  ExperimentConfig cfg;
+  const auto rows = run_experiments(corpus, contexts, oracle, cfg);
+  const auto cells =
+      label_cells(rows, cfg.algorithms, WeightSpec::compression_time_only());
+  for (const auto& cell : cells) {
+    double best = 1e300;
+    int best_idx = -1;
+    for (std::size_t a = 0; a < cfg.algorithms.size(); ++a) {
+      const auto& r = rows[cell.first_row + a];
+      if (r.compress_ms < best) {
+        best = r.compress_ms;
+        best_idx = static_cast<int>(a);
+      }
+    }
+    ASSERT_EQ(cell.winner, best_idx);
+  }
+}
+
+TEST(Labeling, WeightSpecLabelsReadable) {
+  EXPECT_EQ(WeightSpec::total_time().label, "TIME 100");
+  EXPECT_EQ(WeightSpec::ram_only().label, "RAM 100");
+  EXPECT_EQ(WeightSpec::ram_time(0.6, 0.4).label, "RAM:TIME 60:40");
+  EXPECT_EQ(WeightSpec::ram_comp_upload(0.2, 0.4, 0.4).label,
+            "RAM:CompTime:UploadTime 20:40:40");
+}
+
+TEST(Labeling, GzipNeverWinsOnTime) {
+  // §V: "there were no records where Gzip was used as label".
+  const auto corpus = sequence::build_corpus(small_corpus_options());
+  const auto contexts = cloud::context_grid();
+  AnalyticCostOracle oracle;
+  ExperimentConfig cfg;
+  const auto rows = run_experiments(corpus, contexts, oracle, cfg);
+  const auto cells = label_cells(rows, cfg.algorithms, WeightSpec::total_time());
+  const auto hist = winner_histogram(cells, cfg.algorithms.size());
+  const auto gzip_idx = static_cast<std::size_t>(
+      std::find(cfg.algorithms.begin(), cfg.algorithms.end(), "gzip") -
+      cfg.algorithms.begin());
+  EXPECT_EQ(hist[gzip_idx], 0u);
+}
+
+TEST(Labeling, DnaxDominatesTimeOverall) {
+  const auto corpus = sequence::build_corpus(small_corpus_options());
+  const auto contexts = cloud::context_grid();
+  AnalyticCostOracle oracle;
+  ExperimentConfig cfg;
+  const auto rows = run_experiments(corpus, contexts, oracle, cfg);
+  const auto cells = label_cells(rows, cfg.algorithms, WeightSpec::total_time());
+  const auto hist = winner_histogram(cells, cfg.algorithms.size());
+  // algorithms order: ctw, dnax, gencompress, gzip.
+  EXPECT_GT(hist[1], cells.size() / 2);  // dnax wins the majority
+  EXPECT_GT(hist[2], 0u);                // gencompress wins some (small files)
+}
+
+TEST(Labeling, SmallFilesPreferGenCompressOnSlowLinks) {
+  // The paper's headline rule: "if the file size is less than 50kb then one
+  // can go for CTW or Gencompress".
+  const auto corpus = sequence::build_corpus(small_corpus_options());
+  const auto contexts = cloud::context_grid();
+  AnalyticCostOracle oracle;
+  ExperimentConfig cfg;
+  const auto rows = run_experiments(corpus, contexts, oracle, cfg);
+  const auto cells = label_cells(rows, cfg.algorithms, WeightSpec::total_time());
+  std::size_t small_gen = 0, small_total = 0;
+  for (const auto& c : cells) {
+    if (c.file_bytes < 50 * 1024 && c.context.bandwidth_mbps <= 1.0) {
+      ++small_total;
+      if (cfg.algorithms[static_cast<std::size_t>(c.winner)] ==
+          "gencompress") {
+        ++small_gen;
+      }
+    }
+  }
+  ASSERT_GT(small_total, 0u);
+  EXPECT_GT(static_cast<double>(small_gen), 0.5 * small_total);
+}
+
+// ---------------------------------------------------------------- training
+
+TEST(Training, TablesSplitMatchesPaperCounts) {
+  sequence::CorpusOptions opts;  // full 132-file corpus, tiny files
+  opts.synthetic_count = 125;
+  opts.min_size = 8192;
+  opts.max_size = 16384;
+  const auto corpus = sequence::build_corpus(opts);
+  const auto contexts = cloud::context_grid();
+  AnalyticCostOracle oracle;
+  ExperimentConfig cfg;
+  const auto rows = run_experiments(corpus, contexts, oracle, cfg);
+  const auto cells = label_cells(rows, cfg.algorithms, WeightSpec::total_time());
+  const auto split = sequence::split_corpus(corpus.size());
+  const auto tables = make_tables(cells, cfg.algorithms, split.test);
+  EXPECT_EQ(tables.train.n_rows(), 99u * 32u);   // 3168
+  EXPECT_EQ(tables.test.n_rows(), 33u * 32u);    // 1056, as in §V
+  EXPECT_EQ(tables.test_cells.size(), tables.test.n_rows());
+}
+
+TEST(Training, TimeLabelsLearnableRamLabelsNot) {
+  const auto corpus = sequence::build_corpus(small_corpus_options());
+  const auto contexts = cloud::context_grid();
+  AnalyticCostOracle oracle;
+  ExperimentConfig cfg;
+  const auto rows = run_experiments(corpus, contexts, oracle, cfg);
+  const auto split = sequence::split_corpus(corpus.size());
+
+  const auto time_cells =
+      label_cells(rows, cfg.algorithms, WeightSpec::total_time());
+  const auto time_tables = make_tables(time_cells, cfg.algorithms, split.test);
+  const auto ram_cells =
+      label_cells(rows, cfg.algorithms, WeightSpec::ram_only());
+  const auto ram_tables = make_tables(ram_cells, cfg.algorithms, split.test);
+
+  for (const Method m : {Method::kChaid, Method::kCart}) {
+    const double acc_time =
+        fit_and_evaluate(m, time_tables).eval.accuracy();
+    const double acc_ram = fit_and_evaluate(m, ram_tables).eval.accuracy();
+    EXPECT_GT(acc_time, 0.85) << method_name(m);
+    EXPECT_LT(acc_ram, 0.55) << method_name(m);
+    EXPECT_GT(acc_time, acc_ram + 0.3) << method_name(m);
+  }
+}
+
+TEST(Training, Table2SweepHasPaperShape) {
+  const auto corpus = sequence::build_corpus(small_corpus_options());
+  const auto contexts = cloud::context_grid();
+  AnalyticCostOracle oracle;
+  ExperimentConfig cfg;
+  const auto rows = run_experiments(corpus, contexts, oracle, cfg);
+  const auto split = sequence::split_corpus(corpus.size());
+  const auto specs = table2_weight_specs();
+  EXPECT_EQ(specs.size(), 16u);
+  const auto entries = accuracy_sweep(rows, cfg.algorithms, specs, split.test);
+  EXPECT_EQ(entries.size(), 32u);  // 16 weight rows x 2 methods
+
+  double time_acc = 0, ram_acc = 0, best_mixed = 0;
+  for (const auto& e : entries) {
+    if (e.weights.label == "TIME 100") time_acc = std::max(time_acc, e.accuracy);
+    if (e.weights.label == "RAM 100") ram_acc = std::max(ram_acc, e.accuracy);
+    if (e.weights.label.find(':') != std::string::npos) {
+      best_mixed = std::max(best_mixed, e.accuracy);
+    }
+  }
+  // Paper: single-variable TIME ~95%, RAM ~36%, mixed weights <= ~46%.
+  EXPECT_GT(time_acc, 0.85);
+  EXPECT_LT(ram_acc, 0.55);
+  EXPECT_LT(best_mixed, time_acc);
+}
+
+TEST(Training, MethodNamesAndFeatures) {
+  EXPECT_EQ(method_name(Method::kChaid), "CHAID");
+  EXPECT_EQ(method_name(Method::kCart), "CART");
+  LabeledCell cell;
+  cell.context = {2.4, 4.0, 8.0};
+  cell.file_bytes = 51200;
+  const auto f = cell_features(cell);
+  ASSERT_EQ(f.size(), 4u);
+  EXPECT_DOUBLE_EQ(f[0], 4.0);    // ram
+  EXPECT_DOUBLE_EQ(f[1], 2.4);    // cpu
+  EXPECT_DOUBLE_EQ(f[2], 8.0);    // bandwidth
+  EXPECT_DOUBLE_EQ(f[3], 50.0);   // file KB
+}
+
+}  // namespace
+}  // namespace dnacomp::core

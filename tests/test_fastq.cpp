@@ -1,0 +1,141 @@
+// Tests for the FASTQ layer and the G-SQZ-style joint base+quality codec.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "compressors/gsqz/gsqz.h"
+#include "sequence/fastq.h"
+#include "sequence/generator.h"
+#include "util/random.h"
+
+namespace dnacomp {
+namespace {
+
+// Simulated sequencer output: reads drawn from a genome with N calls and
+// realistic base/quality correlation (N => low quality; most calls high).
+std::vector<sequence::FastqRecord> make_reads(std::size_t n_reads,
+                                              std::size_t read_len,
+                                              std::uint64_t seed) {
+  sequence::GeneratorParams gp;
+  gp.length = n_reads * read_len + 1000;
+  gp.seed = seed;
+  const auto genome = sequence::generate_dna(gp);
+  util::Xoshiro256 rng(seed + 1);
+  std::vector<sequence::FastqRecord> reads(n_reads);
+  for (std::size_t r = 0; r < n_reads; ++r) {
+    auto& rec = reads[r];
+    rec.id = "read_" + std::to_string(r) + "/1";
+    const std::size_t start = rng.next_below(genome.size() - read_len);
+    rec.sequence = genome.substr(start, read_len);
+    rec.quality.resize(read_len);
+    for (std::size_t i = 0; i < read_len; ++i) {
+      if (rng.next_bool(0.01)) {
+        rec.sequence[i] = 'N';
+        rec.quality[i] = '#';  // Phred 2: N calls carry no confidence
+      } else {
+        // Mostly high quality, occasionally mid.
+        const int q = rng.next_bool(0.85)
+                          ? 38 + static_cast<int>(rng.next_below(3))
+                          : 20 + static_cast<int>(rng.next_below(15));
+        rec.quality[i] = static_cast<char>('!' + q);
+      }
+    }
+  }
+  return reads;
+}
+
+TEST(Fastq, ParseWriteRoundTrip) {
+  const std::string text =
+      "@read1 first\nACGTN\n+\nIIII#\n@read2\nGGCC\n+\nABCD\n";
+  const auto recs = sequence::parse_fastq(text);
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_EQ(recs[0].id, "read1 first");
+  EXPECT_EQ(recs[0].sequence, "ACGTN");
+  EXPECT_EQ(recs[0].quality, "IIII#");
+  EXPECT_EQ(sequence::parse_fastq(sequence::write_fastq(recs)).size(), 2u);
+}
+
+TEST(Fastq, RejectsStructuralErrors) {
+  EXPECT_THROW(sequence::parse_fastq("ACGT\n+\nIIII\n"), std::runtime_error);
+  EXPECT_THROW(sequence::parse_fastq("@r\nACGT\nIIII\n"), std::runtime_error);
+  EXPECT_THROW(sequence::parse_fastq("@r\nACGT\n+\nII\n"), std::runtime_error);
+  EXPECT_THROW(sequence::parse_fastq("@r\nACGT\n+\n"), std::runtime_error);
+}
+
+TEST(Fastq, ToleratesCrlfAndBlankLines) {
+  const auto recs =
+      sequence::parse_fastq("\n@r\r\nACGT\r\n+\r\nIIII\r\n\n");
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0].sequence, "ACGT");
+}
+
+TEST(Gsqz, RoundTripIsByteExact) {
+  const auto reads = make_reads(200, 100, 5);
+  const compressors::GsqzCompressor codec;
+  const auto packed = codec.compress(reads);
+  const auto restored = codec.decompress(packed);
+  ASSERT_EQ(restored.size(), reads.size());
+  for (std::size_t i = 0; i < reads.size(); ++i) {
+    EXPECT_EQ(restored[i].id, reads[i].id);
+    EXPECT_EQ(restored[i].sequence, reads[i].sequence);
+    EXPECT_EQ(restored[i].quality, reads[i].quality);
+  }
+}
+
+TEST(Gsqz, TextInterfaceRoundTrip) {
+  const auto reads = make_reads(50, 80, 7);
+  const auto text = sequence::write_fastq(reads);
+  const compressors::GsqzCompressor codec;
+  EXPECT_EQ(codec.decompress_text(codec.compress_text(text)), text);
+}
+
+TEST(Gsqz, JointCodingBeatsRawFastq) {
+  // Payload is base+quality (2 chars/base in text); the joint Huffman code
+  // must get well under half of the sequence+quality bytes because the
+  // quality distribution is highly skewed.
+  const auto reads = make_reads(500, 100, 11);
+  const compressors::GsqzCompressor codec;
+  const auto packed = codec.compress(reads);
+  std::size_t payload_chars = 0;
+  for (const auto& r : reads) payload_chars += 2 * r.sequence.size();
+  EXPECT_LT(static_cast<double>(packed.size()),
+            0.5 * static_cast<double>(payload_chars));
+}
+
+TEST(Gsqz, PreservesNCallsAndCase) {
+  std::vector<sequence::FastqRecord> reads(1);
+  reads[0] = {"r", "ACGTNNacgt", "IIII##IIII"};
+  const compressors::GsqzCompressor codec;
+  const auto restored = codec.decompress(codec.compress(reads));
+  // Case folds to upper (G-SQZ normalises); Ns survive exactly.
+  EXPECT_EQ(restored[0].sequence, "ACGTNNACGT");
+  EXPECT_EQ(restored[0].quality, "IIII##IIII");
+}
+
+TEST(Gsqz, RejectsBadQualityAndBases) {
+  const compressors::GsqzCompressor codec;
+  std::vector<sequence::FastqRecord> bad_q(1);
+  bad_q[0] = {"r", "ACGT", std::string(4, '\t')};
+  EXPECT_THROW((void)codec.compress(bad_q), std::invalid_argument);
+  std::vector<sequence::FastqRecord> bad_b(1);
+  bad_b[0] = {"r", "ACXT", "IIII"};
+  EXPECT_THROW((void)codec.compress(bad_b), std::invalid_argument);
+}
+
+TEST(Gsqz, TruncatedStreamFailsLoudly) {
+  const auto reads = make_reads(20, 50, 13);
+  const compressors::GsqzCompressor codec;
+  auto packed = codec.compress(reads);
+  packed.resize(packed.size() / 2);
+  EXPECT_THROW((void)codec.decompress(packed), std::runtime_error);
+}
+
+TEST(Gsqz, EmptyInput) {
+  const compressors::GsqzCompressor codec;
+  const auto packed =
+      codec.compress(std::vector<sequence::FastqRecord>{});
+  EXPECT_TRUE(codec.decompress(packed).empty());
+}
+
+}  // namespace
+}  // namespace dnacomp

@@ -1,0 +1,123 @@
+// End-to-end tests for the Fig. 1 / Fig. 7 framework: context gatherer,
+// inference engine, and the full exchange session against the simulated
+// blob store.
+#include <gtest/gtest.h>
+
+#include "core/framework.h"
+#include "sequence/fasta.h"
+#include "sequence/generator.h"
+
+namespace dnacomp::core {
+namespace {
+
+EngineTrainingOptions fast_training_options() {
+  EngineTrainingOptions opts;
+  opts.corpus.synthetic_count = 25;
+  opts.corpus.min_size = 8192;
+  opts.corpus.max_size = 131072;
+  return opts;
+}
+
+InferenceEngine make_engine(Method method = Method::kCart) {
+  AnalyticCostOracle oracle;
+  auto opts = fast_training_options();
+  opts.method = method;
+  return train_inference_engine(oracle, opts);
+}
+
+TEST(ContextGatherer, ReadsPlausibleMachineSpecs) {
+  const ContextGatherer gatherer(5.5);
+  const auto vm = gatherer.gather();
+  EXPECT_DOUBLE_EQ(vm.bandwidth_mbps, 5.5);
+  EXPECT_GT(vm.ram_gb, 0.05);
+  EXPECT_LT(vm.ram_gb, 4096.0);
+  EXPECT_GT(vm.cpu_ghz, 0.1);
+  EXPECT_LT(vm.cpu_ghz, 10.0);
+}
+
+TEST(InferenceEngine, DecidesPaperRules) {
+  const auto engine = make_engine();
+  // Large file: DNAX in any context (the paper's headline conclusion).
+  const cloud::VmSpec big_ctx{2.4, 4.0, 8.0};
+  EXPECT_EQ(engine.decide(big_ctx, 700 * 1024), "dnax");
+  // Small file on a slow link: GenCompress.
+  const cloud::VmSpec slow{2.0, 2.0, 1.0};
+  EXPECT_EQ(engine.decide(slow, 20 * 1024), "gencompress");
+}
+
+TEST(InferenceEngine, ExposesRules) {
+  const auto engine = make_engine(Method::kChaid);
+  const auto rules = engine.rules();
+  EXPECT_FALSE(rules.empty());
+  bool mentions_size = false;
+  for (const auto& r : rules) {
+    if (r.find("file_kb") != std::string::npos) mentions_size = true;
+  }
+  EXPECT_TRUE(mentions_size);
+}
+
+TEST(InferenceEngine, ShouldCompressLogic) {
+  const auto engine = make_engine();
+  const cloud::TransferModel model;
+  // A sizeable DNA file on a slow link: compressing is clearly worth it.
+  EXPECT_TRUE(engine.should_compress({2.4, 4.0, 1.0}, 500 * 1024, model));
+}
+
+TEST(ExchangeSession, FullRoundTripVerifies) {
+  cloud::BlobStore store;
+  ExchangeSession session(make_engine(), store);
+
+  sequence::GeneratorParams gp;
+  gp.length = 60'000;
+  gp.seed = 99;
+  const std::string seq = sequence::generate_dna(gp);
+  std::vector<sequence::FastaRecord> recs(1);
+  recs[0] = {"test_seq", "round trip", seq};
+  const std::string fasta = sequence::write_fasta(recs);
+
+  const cloud::VmSpec client{2.4, 4.0, 8.0};
+  const auto report = session.exchange(fasta, client, "experiments", "run1");
+
+  EXPECT_TRUE(report.verified);
+  EXPECT_EQ(report.raw_bytes, seq.size());
+  EXPECT_NE(report.algorithm, "none");
+  EXPECT_LT(report.payload_bytes, report.raw_bytes / 2);
+  EXPECT_GT(report.upload_ms, 0.0);
+  EXPECT_GT(report.download_ms, 0.0);
+  EXPECT_EQ(report.cleanse_report.header_lines_removed, 1u);
+
+  // The blob really landed in the store.
+  const auto blob = store.get_blob("experiments", "run1");
+  ASSERT_TRUE(blob.has_value());
+  EXPECT_EQ(blob->size(), report.payload_bytes);
+}
+
+TEST(ExchangeSession, CleansesMessyInput) {
+  cloud::BlobStore store;
+  ExchangeSession session(make_engine(), store);
+  const std::string messy =
+      ">seq with header\n1 acgt acgt 8\n9 ACGTNACGT 17\n";
+  const auto report =
+      session.exchange(messy, {2.4, 4.0, 8.0}, "c", "messy");
+  EXPECT_TRUE(report.verified);
+  // 8 + 9 bases, with the N resolved (not dropped) by default.
+  EXPECT_EQ(report.raw_bytes, 17u);
+}
+
+TEST(ExchangeSession, MultiBlockUpload) {
+  cloud::BlobStore store;
+  ExchangeSession session(make_engine(), store);
+  sequence::GeneratorParams gp;
+  gp.length = 1'500'000;  // compressed payload still spans >1 block
+  gp.seed = 7;
+  gp.repeat_density = 0.05;  // keep it barely compressible
+  const auto report = session.exchange(sequence::generate_dna(gp),
+                                       {2.4, 4.0, 8.0}, "c", "big");
+  EXPECT_TRUE(report.verified);
+  const auto props = store.get_properties("c", "big");
+  ASSERT_TRUE(props.has_value());
+  EXPECT_GT(props->block_count, 1u);
+}
+
+}  // namespace
+}  // namespace dnacomp::core

@@ -1,0 +1,157 @@
+// Tests for the two labeling-equation mixing modes (raw paper-style vs
+// per-cell normalised) and statistical properties of the corpus generator
+// that the selector experiments depend on.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "compressors/compressor.h"
+#include "core/experiment.h"
+#include "core/labeling.h"
+#include "sequence/alphabet.h"
+#include "sequence/generator.h"
+
+namespace dnacomp {
+namespace {
+
+std::vector<core::ExperimentRow> tiny_grid() {
+  // One file, one context, four algorithms with hand-set metrics.
+  std::vector<core::ExperimentRow> rows(4);
+  const char* names[] = {"ctw", "dnax", "gencompress", "gzip"};
+  for (std::size_t a = 0; a < 4; ++a) {
+    rows[a].algorithm = names[a];
+    rows[a].file_bytes = 1000;
+  }
+  // Times in ms: dnax fastest overall; RAM in bytes: gzip smallest.
+  rows[0] = {0, "f", 1000, {}, "ctw", 500, 500, 100, 10, 50e6, 250, 0};
+  rows[1] = {0, "f", 1000, {}, "dnax", 10, 5, 110, 11, 5e6, 260, 0};
+  rows[2] = {0, "f", 1000, {}, "gencompress", 300, 5, 90, 9, 9e6, 240, 0};
+  rows[3] = {0, "f", 1000, {}, "gzip", 30, 3, 150, 15, 1e6, 300, 0};
+  return rows;
+}
+
+const std::vector<std::string> kAlgos = {"ctw", "dnax", "gencompress",
+                                         "gzip"};
+
+TEST(MixingModes, SingleVariableIdenticalInBothModes) {
+  const auto rows = tiny_grid();
+  for (const auto& w :
+       {core::WeightSpec::total_time(), core::WeightSpec::ram_only(),
+        core::WeightSpec::compression_time_only()}) {
+    const auto raw =
+        core::label_cells(rows, kAlgos, w, core::MixingMode::kRawPaper);
+    const auto norm =
+        core::label_cells(rows, kAlgos, w, core::MixingMode::kNormalized);
+    ASSERT_EQ(raw.size(), 1u);
+    EXPECT_EQ(raw[0].winner, norm[0].winner) << w.label;
+  }
+}
+
+TEST(MixingModes, HandComputedWinners) {
+  const auto rows = tiny_grid();
+  // TIME 100: totals = ctw 1110, dnax 136, gen 404, gzip 198 -> dnax.
+  const auto time_cells =
+      core::label_cells(rows, kAlgos, core::WeightSpec::total_time());
+  EXPECT_EQ(kAlgos[static_cast<std::size_t>(time_cells[0].winner)], "dnax");
+  // RAM 100 -> gzip (1e6 smallest).
+  const auto ram_cells =
+      core::label_cells(rows, kAlgos, core::WeightSpec::ram_only());
+  EXPECT_EQ(kAlgos[static_cast<std::size_t>(ram_cells[0].winner)], "gzip");
+}
+
+TEST(MixingModes, RawMixingIsRamDominated) {
+  // 50:50 RAM:TIME in raw mode: RAM-in-KB (>= 1e6/1024 ~ 977) dwarfs the
+  // time sums (<= 1110 ms * 0.125 weight), so the winner follows RAM.
+  const auto rows = tiny_grid();
+  const auto mixed = core::label_cells(rows, kAlgos,
+                                       core::WeightSpec::ram_time(0.5, 0.5),
+                                       core::MixingMode::kRawPaper);
+  const auto ram_only =
+      core::label_cells(rows, kAlgos, core::WeightSpec::ram_only());
+  EXPECT_EQ(mixed[0].winner, ram_only[0].winner);
+}
+
+TEST(MixingModes, NormalizedMixingBalancesScales) {
+  // In normalised mode a 50:50 mix is scale-free: dnax (excellent times,
+  // mid RAM) beats gzip (best RAM, mediocre times) on this grid.
+  const auto rows = tiny_grid();
+  const auto mixed = core::label_cells(rows, kAlgos,
+                                       core::WeightSpec::ram_time(0.5, 0.5),
+                                       core::MixingMode::kNormalized);
+  EXPECT_EQ(kAlgos[static_cast<std::size_t>(mixed[0].winner)], "dnax");
+}
+
+TEST(MixingModes, ScoresArePerAlgorithm) {
+  const auto rows = tiny_grid();
+  const auto cells =
+      core::label_cells(rows, kAlgos, core::WeightSpec::total_time());
+  ASSERT_EQ(cells[0].scores.size(), 4u);
+  for (std::size_t a = 0; a < 4; ++a) {
+    EXPECT_GE(cells[0].scores[a],
+              cells[0].scores[static_cast<std::size_t>(cells[0].winner)]);
+  }
+}
+
+// ------------------------------------------------- generator statistics
+
+TEST(GeneratorStats, MarkovBackgroundLowersConditionalEntropy) {
+  // With strong Markov structure, the order-5 conditional entropy must be
+  // clearly below 2 bits; with strength 0 it must be ~2 bits.
+  auto conditional_entropy = [](const std::string& s, unsigned order) {
+    const auto codes = *sequence::encode_bases(s);
+    const std::size_t contexts = std::size_t{1} << (2 * order);
+    std::vector<std::array<double, 4>> counts(contexts, {0, 0, 0, 0});
+    std::size_t hist = 0;
+    const std::size_t mask = contexts - 1;
+    for (std::size_t i = 0; i < codes.size(); ++i) {
+      if (i >= order) counts[hist][codes[i]] += 1.0;
+      hist = ((hist << 2) | codes[i]) & mask;
+    }
+    double h = 0.0, total = 0.0;
+    for (const auto& c : counts) {
+      const double n = c[0] + c[1] + c[2] + c[3];
+      if (n <= 0) continue;
+      total += n;
+      for (const double x : c) {
+        if (x > 0) h -= x * std::log2(x / n);
+      }
+    }
+    return h / total;
+  };
+
+  sequence::GeneratorParams structured;
+  structured.length = 120'000;
+  structured.repeat_density = 0.0;
+  structured.markov_order = 5;
+  structured.markov_strength = 1.2;
+  structured.seed = 21;
+  sequence::GeneratorParams flat = structured;
+  flat.markov_strength = 0.0;
+  flat.seed = 22;
+
+  const double h_structured =
+      conditional_entropy(sequence::generate_dna(structured), 5);
+  const double h_flat = conditional_entropy(sequence::generate_dna(flat), 5);
+  EXPECT_LT(h_structured, 1.75);
+  EXPECT_GT(h_flat, 1.95);
+}
+
+TEST(GeneratorStats, ReverseComplementRepeatsAreGenerated) {
+  // With rc fraction 1.0 and no mutations, DNAX (which indexes RC) must
+  // compress far better than bio2 (forward-exact only) on the same input.
+  sequence::GeneratorParams gp;
+  gp.length = 60'000;
+  gp.repeat_density = 0.7;
+  gp.reverse_complement_fraction = 1.0;
+  gp.mutation_rate = 0.0;
+  gp.seed = 33;
+  const auto s = sequence::generate_dna(gp);
+  const auto dnax = compressors::make_compressor("dnax")->compress_str(s);
+  const auto bio2 = compressors::make_compressor("bio2")->compress_str(s);
+  EXPECT_LT(static_cast<double>(dnax.size()),
+            0.8 * static_cast<double>(bio2.size()));
+}
+
+}  // namespace
+}  // namespace dnacomp

@@ -1,0 +1,131 @@
+// Tests for the LZ77 matcher and the DEFLATE symbol-class tables used by
+// GzipX.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "compressors/gzipx/gzipx.h"
+#include "compressors/gzipx/lz77.h"
+#include "util/random.h"
+
+namespace dnacomp::compressors {
+namespace {
+
+std::vector<std::uint8_t> bytes_of(const std::string& s) {
+  return {s.begin(), s.end()};
+}
+
+TEST(Lz77, LiteralOnlyForIncompressibleInput) {
+  util::Xoshiro256 rng(3);
+  std::vector<std::uint8_t> data(500);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.next());
+  Lz77Matcher matcher;
+  const auto tokens = matcher.tokenize(data);
+  EXPECT_EQ(lz77_reconstruct(tokens), data);
+}
+
+TEST(Lz77, FindsSimpleRepeat) {
+  const auto data = bytes_of("abcdefghijabcdefghij");
+  Lz77Matcher matcher;
+  const auto tokens = matcher.tokenize(data);
+  bool has_match = false;
+  for (const auto& t : tokens) {
+    if (t.is_match) {
+      has_match = true;
+      EXPECT_EQ(t.distance, 10);
+      EXPECT_GE(t.length, 3u);
+    }
+  }
+  EXPECT_TRUE(has_match);
+  EXPECT_EQ(lz77_reconstruct(tokens), data);
+}
+
+TEST(Lz77, HandlesRunsViaOverlappingMatch) {
+  const auto data = bytes_of(std::string(300, 'x'));
+  Lz77Matcher matcher;
+  const auto tokens = matcher.tokenize(data);
+  // A run compresses to very few tokens thanks to self-overlap.
+  EXPECT_LE(tokens.size(), 6u);
+  EXPECT_EQ(lz77_reconstruct(tokens), data);
+}
+
+TEST(Lz77, RespectsMaxMatchLength) {
+  const auto data = bytes_of(std::string(1000, 'y'));
+  Lz77Matcher matcher;
+  for (const auto& t : matcher.tokenize(data)) {
+    if (t.is_match) {
+      EXPECT_LE(t.length, matcher.params().max_match);
+      EXPECT_GE(t.length, matcher.params().min_match);
+    }
+  }
+}
+
+TEST(Lz77, PropertyRandomTextRoundTrip) {
+  util::Xoshiro256 rng(9);
+  for (int trial = 0; trial < 20; ++trial) {
+    // Mix of random and repeated segments.
+    std::vector<std::uint8_t> data;
+    while (data.size() < 5000) {
+      if (!data.empty() && rng.next_bool(0.5)) {
+        const std::size_t len = 1 + rng.next_below(200);
+        const std::size_t src = rng.next_below(data.size());
+        for (std::size_t i = 0; i < len; ++i) {
+          data.push_back(data[src + (i % (data.size() - src))]);
+        }
+      } else {
+        const std::size_t len = 1 + rng.next_below(50);
+        for (std::size_t i = 0; i < len; ++i) {
+          data.push_back(static_cast<std::uint8_t>(rng.next_below(4) + 'A'));
+        }
+      }
+    }
+    Lz77Matcher matcher;
+    const auto tokens = matcher.tokenize(data);
+    ASSERT_EQ(lz77_reconstruct(tokens), data);
+  }
+}
+
+TEST(Lz77, ReconstructRejectsBadDistance) {
+  std::vector<Lz77Token> tokens;
+  tokens.push_back({false, 'a', 0, 0});
+  tokens.push_back({true, 0, 5, 3});  // distance 3 > 1 byte available
+  EXPECT_THROW(lz77_reconstruct(tokens), std::logic_error);
+}
+
+TEST(DeflateTables, LengthClassesCoverRange) {
+  for (unsigned len = 3; len <= 258; ++len) {
+    const unsigned sym = length_to_symbol(len);
+    ASSERT_GE(sym, 257u);
+    ASSERT_LE(sym, 285u);
+    const unsigned base = length_symbol_base(sym);
+    const unsigned extra = length_symbol_extra_bits(sym);
+    ASSERT_LE(base, len);
+    if (extra > 0) {
+      ASSERT_LT(len - base, 1u << extra);  // offset fits in the extra bits
+    } else {
+      ASSERT_EQ(len, base);
+    }
+  }
+  EXPECT_EQ(length_to_symbol(3), 257u);
+  EXPECT_EQ(length_to_symbol(258), 285u);
+}
+
+TEST(DeflateTables, DistanceClassesCoverRange) {
+  for (unsigned dist = 1; dist <= 32768; dist += 7) {
+    const unsigned sym = distance_to_symbol(dist);
+    ASSERT_LT(sym, 30u);
+    const unsigned base = distance_symbol_base(sym);
+    const unsigned extra = distance_symbol_extra_bits(sym);
+    ASSERT_LE(base, dist);
+    if (extra > 0) {
+      ASSERT_LT(dist - base, 1u << extra);
+    } else {
+      ASSERT_EQ(dist, base);
+    }
+  }
+  EXPECT_EQ(distance_to_symbol(1), 0u);
+  EXPECT_EQ(distance_to_symbol(32768), 29u);
+}
+
+}  // namespace
+}  // namespace dnacomp::compressors

@@ -1,0 +1,307 @@
+// Tests for src/ml: chi-squared machinery, discretizer, CART, CHAID and
+// evaluation metrics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/cart.h"
+#include "ml/chaid.h"
+#include "ml/chi2.h"
+#include "ml/data_table.h"
+#include "ml/discretizer.h"
+#include "ml/metrics.h"
+#include "util/random.h"
+
+namespace dnacomp::ml {
+namespace {
+
+// ---------------------------------------------------------------- chi2
+
+TEST(Chi2, GammaQReferenceValues) {
+  // Q(1, 1) = e^-1; Q(0.5, x) = erfc(sqrt(x)).
+  EXPECT_NEAR(gamma_q(1.0, 1.0), std::exp(-1.0), 1e-10);
+  EXPECT_NEAR(gamma_q(0.5, 2.0), std::erfc(std::sqrt(2.0)), 1e-10);
+  EXPECT_NEAR(gamma_q(3.0, 0.0), 1.0, 1e-12);
+}
+
+TEST(Chi2, SurvivalFunctionKnownQuantiles) {
+  // Chi-squared critical values: P(X >= 3.841 | df=1) = 0.05,
+  // P(X >= 5.991 | df=2) = 0.05, P(X >= 9.488 | df=4) = 0.05.
+  EXPECT_NEAR(chi2_sf(3.841, 1), 0.05, 1e-3);
+  EXPECT_NEAR(chi2_sf(5.991, 2), 0.05, 1e-3);
+  EXPECT_NEAR(chi2_sf(9.488, 4), 0.05, 1e-3);
+  EXPECT_DOUBLE_EQ(chi2_sf(-1.0, 3), 1.0);
+  EXPECT_DOUBLE_EQ(chi2_sf(5.0, 0), 1.0);
+}
+
+TEST(Chi2, IndependentTableHasHighPValue) {
+  // Perfectly proportional rows: statistic 0, p = 1.
+  const auto res = chi2_test({{10, 20}, {20, 40}});
+  EXPECT_NEAR(res.statistic, 0.0, 1e-9);
+  EXPECT_NEAR(res.p_value, 1.0, 1e-9);
+  EXPECT_EQ(res.df, 1u);
+}
+
+TEST(Chi2, DependentTableHasLowPValue) {
+  const auto res = chi2_test({{50, 0}, {0, 50}});
+  EXPECT_GT(res.statistic, 90.0);
+  EXPECT_LT(res.p_value, 1e-10);
+}
+
+TEST(Chi2, DegenerateTablesAreNeutral) {
+  EXPECT_DOUBLE_EQ(chi2_test({}).p_value, 1.0);
+  EXPECT_DOUBLE_EQ(chi2_test({{5, 5}}).p_value, 1.0);          // one row
+  EXPECT_DOUBLE_EQ(chi2_test({{5, 0}, {7, 0}}).p_value, 1.0);  // one col
+}
+
+TEST(Chi2, HandComputedStatistic) {
+  // Table {{10,20},{30,40}}: expected cells 12/18/28/42 -> X2 = 100/126*...
+  const auto res = chi2_test({{10, 20}, {30, 40}});
+  const double expected =
+      4.0 / 12 + 4.0 / 18 + 4.0 / 28 + 4.0 / 42;  // (O-E)^2/E with |O-E|=2
+  EXPECT_NEAR(res.statistic, expected, 1e-9);
+}
+
+// ------------------------------------------------------------ discretizer
+
+TEST(Discretizer, FewDistinctValuesGetOwnBins) {
+  const std::vector<double> grid = {1.0, 2.0, 4.0, 6.0, 1.0, 2.0};
+  const auto d = Discretizer::fit(grid, 8);
+  EXPECT_EQ(d.bin_count(), 4u);
+  EXPECT_EQ(d.bin_of(1.0), 0u);
+  EXPECT_EQ(d.bin_of(2.0), 1u);
+  EXPECT_EQ(d.bin_of(4.0), 2u);
+  EXPECT_EQ(d.bin_of(6.0), 3u);
+  // Unseen values map to the nearest bracket.
+  EXPECT_EQ(d.bin_of(0.0), 0u);
+  EXPECT_EQ(d.bin_of(100.0), 3u);
+}
+
+TEST(Discretizer, EqualFrequencyOnContinuousData) {
+  util::Xoshiro256 rng(3);
+  std::vector<double> values(10000);
+  for (auto& v : values) v = rng.next_double();
+  const auto d = Discretizer::fit(values, 4);
+  EXPECT_EQ(d.bin_count(), 4u);
+  std::vector<int> counts(4, 0);
+  for (const auto v : values) ++counts[d.bin_of(v)];
+  for (const auto c : counts) {
+    EXPECT_NEAR(c, 2500, 150);
+  }
+}
+
+TEST(Discretizer, MonotoneBinning) {
+  util::Xoshiro256 rng(5);
+  std::vector<double> values(500);
+  for (auto& v : values) v = rng.next_double(0, 100);
+  const auto d = Discretizer::fit(values, 6);
+  for (double v = 0; v < 100; v += 0.5) {
+    EXPECT_LE(d.bin_of(v), d.bin_of(v + 0.5));
+  }
+}
+
+TEST(Discretizer, LabelsDescribeIntervals) {
+  const std::vector<double> vals = {1.0, 2.0, 3.0};
+  const auto d = Discretizer::fit(vals, 8);
+  EXPECT_NE(d.bin_label(0).find("-inf"), std::string::npos);
+  EXPECT_NE(d.bin_label(d.bin_count() - 1).find("+inf"), std::string::npos);
+}
+
+// -------------------------------------------------------------- data table
+
+TEST(DataTable, BasicAccessAndCounts) {
+  DataTable t({"x", "y"}, {"a", "b"});
+  t.add_row(std::vector<double>{1.0, 2.0}, 0);
+  t.add_row(std::vector<double>{3.0, 4.0}, 1);
+  t.add_row(std::vector<double>{5.0, 6.0}, 1);
+  EXPECT_EQ(t.n_rows(), 3u);
+  EXPECT_DOUBLE_EQ(t.feature(1, 1), 4.0);
+  EXPECT_EQ(t.label(2), 1);
+  const auto rows = t.all_rows();
+  EXPECT_EQ(t.class_counts(rows), (std::vector<std::size_t>{1, 2}));
+  EXPECT_EQ(t.majority_class(rows), 1);
+}
+
+TEST(DataTable, RejectsBadRows) {
+  DataTable t({"x"}, {"a", "b"});
+  EXPECT_THROW(t.add_row(std::vector<double>{1.0, 2.0}, 0), std::logic_error);
+  EXPECT_THROW(t.add_row(std::vector<double>{1.0}, 5), std::logic_error);
+}
+
+// -------------------------------------------------------- tree learners
+
+// Synthetic task 1: y = (x0 > 0.5), one clean axis-aligned boundary.
+DataTable threshold_task(std::size_t n, std::uint64_t seed) {
+  DataTable t({"x0", "x1"}, {"neg", "pos"});
+  util::Xoshiro256 rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x0 = rng.next_double();
+    const double x1 = rng.next_double();
+    t.add_row(std::vector<double>{x0, x1}, x0 > 0.5 ? 1 : 0);
+  }
+  return t;
+}
+
+// Synthetic task 2: XOR of two thresholds — needs depth >= 2 and defeats
+// single-split models.
+DataTable xor_task(std::size_t n, std::uint64_t seed) {
+  DataTable t({"x0", "x1"}, {"neg", "pos"});
+  util::Xoshiro256 rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x0 = rng.next_double();
+    const double x1 = rng.next_double();
+    t.add_row(std::vector<double>{x0, x1},
+              (x0 > 0.5) != (x1 > 0.5) ? 1 : 0);
+  }
+  return t;
+}
+
+TEST(Cart, GiniReference) {
+  EXPECT_DOUBLE_EQ(CartClassifier::gini(std::vector<std::size_t>{10, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(CartClassifier::gini(std::vector<std::size_t>{5, 5}), 0.5);
+  EXPECT_NEAR(CartClassifier::gini(std::vector<std::size_t>{1, 1, 1, 1}),
+              0.75, 1e-12);
+  EXPECT_DOUBLE_EQ(CartClassifier::gini(std::vector<std::size_t>{}), 0.0);
+}
+
+TEST(Cart, LearnsThresholdTask) {
+  const auto train = threshold_task(500, 1);
+  const auto test = threshold_task(200, 2);
+  const auto model = CartClassifier::fit(train);
+  EXPECT_GE(evaluate(*model, test).accuracy(), 0.97);
+}
+
+TEST(Cart, LearnsXorWithDepth) {
+  const auto train = xor_task(1000, 3);
+  const auto test = xor_task(400, 4);
+  const auto model = CartClassifier::fit(train);
+  EXPECT_GE(evaluate(*model, test).accuracy(), 0.93);
+  EXPECT_GE(model->leaf_count(), 4u);
+}
+
+TEST(Cart, StoppingControlsLimitTree) {
+  const auto train = xor_task(1000, 5);
+  CartParams p;
+  p.max_depth = 1;
+  const auto stump = CartClassifier::fit(train, p);
+  EXPECT_LE(stump->leaf_count(), 2u);
+}
+
+TEST(Cart, RulesMentionFeatureAndClassNames) {
+  const auto train = threshold_task(500, 6);
+  const auto model = CartClassifier::fit(train);
+  const auto rules = model->rules();
+  ASSERT_FALSE(rules.empty());
+  bool found = false;
+  for (const auto& r : rules) {
+    if (r.find("x0") != std::string::npos &&
+        r.find("THEN") != std::string::npos) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Cart, PureNodeBecomesLeaf) {
+  DataTable t({"x"}, {"a", "b"});
+  for (int i = 0; i < 50; ++i) t.add_row(std::vector<double>{double(i)}, 0);
+  const auto model = CartClassifier::fit(t);
+  EXPECT_EQ(model->leaf_count(), 1u);
+  EXPECT_EQ(model->predict(std::vector<double>{3.0}), 0);
+}
+
+TEST(Chaid, BonferroniOrdinalCoefficient) {
+  // C(c-1, r-1): merging 5 ordered categories into 3 groups -> C(4,2) = 6.
+  EXPECT_NEAR(std::exp(ChaidClassifier::log_bonferroni_ordinal(5, 3)), 6.0,
+              1e-9);
+  EXPECT_NEAR(std::exp(ChaidClassifier::log_bonferroni_ordinal(4, 1)), 1.0,
+              1e-9);
+}
+
+TEST(Chaid, LearnsThresholdTask) {
+  const auto train = threshold_task(800, 7);
+  const auto test = threshold_task(300, 8);
+  const auto model = ChaidClassifier::fit(train);
+  EXPECT_GE(evaluate(*model, test).accuracy(), 0.90);
+}
+
+TEST(Chaid, CannotLearnXorByDesign) {
+  // In XOR both predictors are *marginally* independent of the label, so
+  // CHAID's chi-squared screening refuses every split — a known limitation
+  // (no lookahead) and part of why the paper finds CART more effective for
+  // this prediction problem than CHAID.
+  const auto train = xor_task(1500, 9);
+  const auto test = xor_task(400, 10);
+  const auto model = ChaidClassifier::fit(train);
+  EXPECT_LE(model->leaf_count(), 2u);
+  EXPECT_LE(evaluate(*model, test).accuracy(), 0.65);
+}
+
+TEST(Chaid, InsignificantPredictorYieldsLeaf) {
+  // Labels independent of features: chi-squared must refuse every split.
+  DataTable t({"x"}, {"a", "b"});
+  util::Xoshiro256 rng(11);
+  for (int i = 0; i < 400; ++i) {
+    t.add_row(std::vector<double>{rng.next_double()},
+              rng.next_bool(0.5) ? 1 : 0);
+  }
+  const auto model = ChaidClassifier::fit(t);
+  EXPECT_EQ(model->leaf_count(), 1u);
+}
+
+TEST(Chaid, MultiwaySplitOnGridFeature) {
+  // A 4-valued grid feature with distinct majority classes per value should
+  // produce a single multiway split (possibly with merges), not a cascade.
+  DataTable t({"grid"}, {"a", "b", "c", "d"});
+  util::Xoshiro256 rng(13);
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = static_cast<int>(rng.next_below(4));
+    // 90% of the time the label equals the grid cell.
+    const int label =
+        rng.next_bool(0.9) ? v : static_cast<int>(rng.next_below(4));
+    t.add_row(std::vector<double>{static_cast<double>(v)}, label);
+  }
+  const auto model = ChaidClassifier::fit(t);
+  EXPECT_GE(model->leaf_count(), 4u);
+  const auto test_row = [&](double v) {
+    return model->predict(std::vector<double>{v});
+  };
+  EXPECT_EQ(test_row(0.0), 0);
+  EXPECT_EQ(test_row(1.0), 1);
+  EXPECT_EQ(test_row(2.0), 2);
+  EXPECT_EQ(test_row(3.0), 3);
+}
+
+TEST(Chaid, RulesUseIntervalNotation) {
+  const auto train = threshold_task(800, 15);
+  const auto model = ChaidClassifier::fit(train);
+  const auto rules = model->rules();
+  ASSERT_FALSE(rules.empty());
+  bool interval_found = false;
+  for (const auto& r : rules) {
+    if (r.find(" IN {") != std::string::npos) interval_found = true;
+  }
+  EXPECT_TRUE(interval_found);
+}
+
+// ---------------------------------------------------------------- metrics
+
+TEST(Metrics, AccuracyAndConfusion) {
+  DataTable test({"x0", "x1"}, {"neg", "pos"});
+  test.add_row(std::vector<double>{0.1, 0.5}, 0);
+  test.add_row(std::vector<double>{0.9, 0.5}, 1);
+  test.add_row(std::vector<double>{0.2, 0.5}, 1);  // will be predicted 0
+
+  const auto train = threshold_task(500, 20);
+  const auto model = CartClassifier::fit(train);
+  const auto eval = evaluate(*model, test);
+  EXPECT_EQ(eval.total, 3u);
+  EXPECT_EQ(eval.matched, 2u);
+  EXPECT_NEAR(eval.accuracy(), 2.0 / 3.0, 1e-12);
+  EXPECT_EQ(eval.confusion[1][0], 1u);  // actual b, predicted a
+  const auto text = format_confusion(eval, test.class_names());
+  EXPECT_NE(text.find("actual"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dnacomp::ml

@@ -1,0 +1,133 @@
+// Failure-injection suite: decoders must survive arbitrary corruption —
+// random bit flips, truncation at every boundary, byte extension, and pure
+// garbage — by throwing or returning wrong data, never by crashing or
+// looping. (DC_CHECK violations surface as std::logic_error, which also
+// counts as failing loudly.)
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "compressors/compressor.h"
+#include "sequence/generator.h"
+#include "util/random.h"
+
+namespace dnacomp::compressors {
+namespace {
+
+std::string test_sequence(std::size_t length, std::uint64_t seed) {
+  sequence::GeneratorParams gp;
+  gp.length = length;
+  gp.seed = seed;
+  return sequence::generate_dna(gp);
+}
+
+// Returns true if decompression failed loudly (threw) or produced output
+// different from `expected`. Only a silent, byte-identical "success" on a
+// corrupted stream is a real problem for this suite's purposes — and a
+// crash/hang fails the test run itself.
+bool fails_safely(const Compressor& codec,
+                  const std::vector<std::uint8_t>& corrupted,
+                  const std::string& expected) {
+  try {
+    const auto out = codec.decompress_str(corrupted);
+    return out != expected;
+  } catch (const std::exception&) {
+    return true;
+  }
+}
+
+class RobustnessTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RobustnessTest, SurvivesRandomBitFlips) {
+  const auto codec = make_compressor(GetParam());
+  const std::string input = test_sequence(8000, 101);
+  const auto good = codec->compress_str(input);
+  util::Xoshiro256 rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    auto bad = good;
+    // Flip 1-4 random bits anywhere in the stream (header included).
+    const auto flips = 1 + rng.next_below(4);
+    for (std::uint64_t f = 0; f < flips; ++f) {
+      const auto byte = rng.next_below(bad.size());
+      bad[byte] ^= static_cast<std::uint8_t>(1u << rng.next_below(8));
+    }
+    // Must not crash; silent identical output is only acceptable when the
+    // flips landed in dead padding, which we don't count as corruption.
+    try {
+      (void)codec->decompress_str(bad);
+    } catch (const std::exception&) {
+      // loud failure: fine
+    }
+  }
+  SUCCEED();
+}
+
+TEST_P(RobustnessTest, SurvivesTruncationAtEveryPrefix) {
+  const auto codec = make_compressor(GetParam());
+  const std::string input = test_sequence(2000, 103);
+  const auto good = codec->compress_str(input);
+  // Every prefix length, including 0.
+  for (std::size_t len = 0; len < good.size(); ++len) {
+    const std::vector<std::uint8_t> cut(good.begin(),
+                                        good.begin() +
+                                            static_cast<std::ptrdiff_t>(len));
+    EXPECT_TRUE(fails_safely(*codec, cut, input)) << "prefix " << len;
+  }
+}
+
+TEST_P(RobustnessTest, SurvivesTrailingGarbage) {
+  // Decoders must either ignore or reject appended bytes, not misbehave.
+  const auto codec = make_compressor(GetParam());
+  const std::string input = test_sequence(3000, 107);
+  auto padded = codec->compress_str(input);
+  for (int i = 0; i < 64; ++i) padded.push_back(0xA5);
+  try {
+    const auto out = codec->decompress_str(padded);
+    // If it decodes, it must decode correctly — the header carries the
+    // exact original size, so trailing bytes are ignorable.
+    EXPECT_EQ(out, input);
+  } catch (const std::exception&) {
+    // rejecting is also acceptable
+  }
+}
+
+TEST_P(RobustnessTest, SurvivesAllZeroAndAllOnesBodies) {
+  const auto codec = make_compressor(GetParam());
+  const std::string input = test_sequence(1000, 109);
+  const auto good = codec->compress_str(input);
+  for (const std::uint8_t fill : {std::uint8_t{0x00}, std::uint8_t{0xFF}}) {
+    auto bad = good;
+    // Keep the header, wipe the body.
+    for (std::size_t i = 8; i < bad.size(); ++i) bad[i] = fill;
+    EXPECT_TRUE(fails_safely(*codec, bad, input)) << int(fill);
+  }
+}
+
+TEST_P(RobustnessTest, RandomGarbageStreams) {
+  const auto codec = make_compressor(GetParam());
+  util::Xoshiro256 rng(11);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<std::uint8_t> garbage(4 + rng.next_below(512));
+    for (auto& b : garbage) b = static_cast<std::uint8_t>(rng.next());
+    // Valid-looking header so the body decoder actually runs sometimes.
+    if (trial % 2 == 0) {
+      garbage[0] = 'D';
+      garbage[1] = 'C';
+      garbage[2] = static_cast<std::uint8_t>(codec->id());
+      garbage[3] = static_cast<std::uint8_t>(rng.next_below(0x80));
+    }
+    try {
+      (void)codec->decompress(garbage);
+    } catch (const std::exception&) {
+      // expected for most inputs
+    }
+  }
+  SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, RobustnessTest,
+                         ::testing::Values("ctw", "dnax", "gencompress",
+                                           "gzip", "bio2", "xm", "dnapack"));
+
+}  // namespace
+}  // namespace dnacomp::compressors

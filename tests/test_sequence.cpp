@@ -1,0 +1,301 @@
+// Tests for src/sequence: alphabet, packed storage, FASTA, the Cleanser and
+// the corpus generator.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string_view>
+
+#include "sequence/alphabet.h"
+#include "sequence/cleanser.h"
+#include "sequence/corpus.h"
+#include "sequence/fasta.h"
+#include "sequence/generator.h"
+#include "sequence/packed_dna.h"
+
+namespace dnacomp::sequence {
+namespace {
+
+TEST(Alphabet, CodesAndComplements) {
+  EXPECT_EQ(base_to_code('A'), 0);
+  EXPECT_EQ(base_to_code('c'), 1);
+  EXPECT_EQ(base_to_code('G'), 2);
+  EXPECT_EQ(base_to_code('t'), 3);
+  EXPECT_EQ(base_to_code('N'), 0xFF);
+  for (std::uint8_t c = 0; c < 4; ++c) {
+    EXPECT_EQ(complement_code(complement_code(c)), c);
+    EXPECT_EQ(base_to_code(code_to_base(c)), c);
+  }
+  EXPECT_EQ(complement_base('A'), 'T');
+  EXPECT_EQ(complement_base('C'), 'G');
+  EXPECT_EQ(complement_base('x'), '?');
+}
+
+TEST(Alphabet, EncodeDecodeRoundTrip) {
+  const std::string s = "ACGTACGTTTGGCCAA";
+  const auto codes = encode_bases(s);
+  ASSERT_TRUE(codes.has_value());
+  EXPECT_EQ(decode_bases(*codes), s);
+  EXPECT_FALSE(encode_bases("ACGN").has_value());
+}
+
+TEST(Alphabet, ReverseComplementInvolution) {
+  const auto codes = *encode_bases("AACGTAGGCT");
+  const auto rc = reverse_complement(codes);
+  EXPECT_EQ(decode_bases(rc), "AGCCTACGTT");
+  EXPECT_EQ(reverse_complement(rc), codes);
+}
+
+TEST(Alphabet, GcContent) {
+  EXPECT_DOUBLE_EQ(gc_content(*encode_bases("GGCC")), 1.0);
+  EXPECT_DOUBLE_EQ(gc_content(*encode_bases("AATT")), 0.0);
+  EXPECT_DOUBLE_EQ(gc_content(*encode_bases("ACGT")), 0.5);
+  EXPECT_DOUBLE_EQ(gc_content({}), 0.0);
+}
+
+TEST(Alphabet, IupacExpansion) {
+  EXPECT_TRUE(is_ambiguity_code('N'));
+  EXPECT_TRUE(is_ambiguity_code('r'));
+  EXPECT_FALSE(is_ambiguity_code('A'));
+  const auto n = ambiguity_expansion('N');
+  EXPECT_EQ(std::string(n.begin(), n.end()), "ACGT");
+  const auto y = ambiguity_expansion('y');
+  EXPECT_EQ(std::string(y.begin(), y.end()), "CT");
+  EXPECT_TRUE(ambiguity_expansion('Z').empty());
+}
+
+TEST(PackedDna, RoundTripVariousLengths) {
+  for (std::size_t len : {0u, 1u, 2u, 3u, 4u, 5u, 7u, 8u, 9u, 100u, 1001u}) {
+    GeneratorParams gp;
+    gp.length = std::max<std::size_t>(len, 1);
+    gp.seed = len + 1;
+    std::string s = generate_dna(gp).substr(0, len);
+    if (len == 0) s.clear();
+    if (s.empty() && len > 0) continue;
+    const PackedDna p = len == 0 ? PackedDna() : PackedDna::from_string(s);
+    EXPECT_EQ(p.size(), s.size());
+    EXPECT_EQ(p.to_string(), s);
+  }
+}
+
+TEST(PackedDna, UsesTwoBitsPerBase) {
+  const PackedDna p = PackedDna::from_string(std::string(1000, 'G'));
+  EXPECT_EQ(p.packed_bytes().size(), 250u);
+}
+
+TEST(PackedDna, RejectsInvalidCharacters) {
+  EXPECT_THROW(PackedDna::from_string("ACGX"), std::invalid_argument);
+}
+
+TEST(PackedDna, ReverseComplementMatchesAlphabet) {
+  const std::string s = "ACGTAGGTTC";
+  const auto p = PackedDna::from_string(s);
+  const auto rc_codes = reverse_complement(*encode_bases(s));
+  EXPECT_EQ(p.reverse_complement().to_string(), decode_bases(rc_codes));
+}
+
+TEST(PackedDna, SerializeDeserialize) {
+  const auto p = PackedDna::from_string("ACGTACGTACG");
+  const auto bytes = p.serialize();
+  const auto q = PackedDna::deserialize(bytes);
+  EXPECT_EQ(p, q);
+  // Truncated payload must throw.
+  std::vector<std::uint8_t> cut(bytes.begin(), bytes.end() - 1);
+  EXPECT_THROW(PackedDna::deserialize(cut), std::logic_error);
+}
+
+TEST(Fasta, ParsesMultiRecordWithDescriptions) {
+  const std::string text =
+      ">seq1 first sequence\nACGT\nACGT\n\n>seq2\nTTTT\n";
+  const auto recs = parse_fasta(text);
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_EQ(recs[0].id, "seq1");
+  EXPECT_EQ(recs[0].description, "first sequence");
+  EXPECT_EQ(recs[0].sequence, "ACGTACGT");
+  EXPECT_EQ(recs[1].id, "seq2");
+  EXPECT_TRUE(recs[1].description.empty());
+  EXPECT_EQ(recs[1].sequence, "TTTT");
+}
+
+TEST(Fasta, ToleratesCrlfAndLeadingJunk) {
+  const auto recs = parse_fasta("; comment\r\njunk\r\n>a\r\nAC GT\r\n");
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0].sequence, "ACGT");
+}
+
+TEST(Fasta, EmptyHeaderThrows) {
+  EXPECT_THROW(parse_fasta(">\nACGT\n"), std::runtime_error);
+}
+
+TEST(Fasta, WriteParsesBack) {
+  std::vector<FastaRecord> recs(2);
+  recs[0] = {"id1", "desc here", std::string(150, 'A')};
+  recs[1] = {"id2", "", "ACGT"};
+  const auto text = write_fasta(recs, 60);
+  const auto back = parse_fasta(text);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0].id, recs[0].id);
+  EXPECT_EQ(back[0].description, recs[0].description);
+  EXPECT_EQ(back[0].sequence, recs[0].sequence);
+  EXPECT_EQ(back[1].sequence, recs[1].sequence);
+  // 150 chars at width 60 -> lines of 60/60/30.
+  EXPECT_NE(text.find(std::string(60, 'A') + "\n"), std::string::npos);
+}
+
+TEST(Cleanser, StripsHeadersDigitsWhitespace) {
+  const std::string raw =
+      ">record 1 some description\n"
+      "1 acgtacgt 10\n"
+      "11 ACGT\n";
+  const auto res = cleanse(raw);
+  EXPECT_EQ(res.sequence, "ACGTACGTACGT");
+  EXPECT_EQ(res.report.header_lines_removed, 1u);
+  EXPECT_GT(res.report.digits_removed, 0u);
+  EXPECT_GT(res.report.whitespace_removed, 0u);
+  EXPECT_EQ(res.report.output_bases, 12u);
+}
+
+TEST(Cleanser, AmbiguityPolicies) {
+  CleanseOptions drop;
+  drop.ambiguity = AmbiguityPolicy::kDrop;
+  EXPECT_EQ(cleanse("ACNGT", drop).sequence, "ACGT");
+  EXPECT_EQ(cleanse("ACNGT", drop).report.ambiguity_dropped, 1u);
+
+  CleanseOptions rnd;
+  rnd.ambiguity = AmbiguityPolicy::kRandomize;
+  rnd.seed = 5;
+  const auto r = cleanse("ACYGT", rnd);
+  EXPECT_EQ(r.sequence.size(), 5u);
+  EXPECT_TRUE(r.sequence[2] == 'C' || r.sequence[2] == 'T');
+  EXPECT_EQ(r.report.ambiguity_resolved, 1u);
+  // Deterministic for a fixed seed.
+  EXPECT_EQ(cleanse("ACYGT", rnd).sequence, r.sequence);
+
+  CleanseOptions fail;
+  fail.ambiguity = AmbiguityPolicy::kFail;
+  EXPECT_THROW(cleanse("ACNGT", fail), std::runtime_error);
+}
+
+TEST(Cleanser, OutputIsAlwaysStrictDna) {
+  const auto res = cleanse("ac?gt;*U123\n>header\nGGg");
+  for (const char c : res.sequence) {
+    EXPECT_TRUE(is_strict_base(c));
+    EXPECT_TRUE(c >= 'A' && c <= 'Z');
+  }
+}
+
+TEST(Generator, ExactLengthAndValidity) {
+  for (const std::size_t len : {1u, 100u, 10000u}) {
+    GeneratorParams gp;
+    gp.length = len;
+    const auto s = generate_dna(gp);
+    EXPECT_EQ(s.size(), len);
+    EXPECT_TRUE(std::all_of(s.begin(), s.end(), is_strict_base));
+  }
+}
+
+TEST(Generator, DeterministicPerSeed) {
+  GeneratorParams gp;
+  gp.length = 5000;
+  gp.seed = 77;
+  EXPECT_EQ(generate_dna(gp), generate_dna(gp));
+  gp.seed = 78;
+  EXPECT_NE(generate_dna(gp), generate_dna(GeneratorParams{}));
+}
+
+TEST(Generator, GcBiasIsRespected) {
+  GeneratorParams gp;
+  gp.length = 60000;
+  gp.repeat_density = 0.0;  // background only
+  gp.markov_strength = 0.0; // unbiased contexts
+  gp.gc_bias = 0.7;
+  const auto s = generate_dna(gp);
+  const auto codes = *encode_bases(s);
+  EXPECT_NEAR(gc_content(codes), 0.7, 0.02);
+}
+
+TEST(Generator, RepeatsMakeSequencesSelfSimilar) {
+  // With heavy repeats, the number of distinct 16-mers must be far below a
+  // repeat-free sequence's.
+  auto distinct_kmers = [](const std::string& s) {
+    std::set<std::string_view> kmers;
+    for (std::size_t i = 0; i + 16 <= s.size(); ++i) {
+      kmers.insert(std::string_view(s).substr(i, 16));
+    }
+    return kmers.size();
+  };
+  GeneratorParams heavy;
+  heavy.length = 40000;
+  heavy.repeat_density = 0.8;
+  heavy.mutation_rate = 0.0;
+  heavy.seed = 5;
+  GeneratorParams none = heavy;
+  none.repeat_density = 0.0;
+  EXPECT_LT(distinct_kmers(generate_dna(heavy)),
+            distinct_kmers(generate_dna(none)) * 3 / 4);
+}
+
+TEST(Corpus, HasPaperShape) {
+  CorpusOptions opts;
+  opts.synthetic_count = 25;  // keep the test fast
+  opts.min_size = 4096;
+  opts.max_size = 65536;
+  const auto corpus = build_corpus(opts);
+  ASSERT_EQ(corpus.size(), 32u);
+  EXPECT_EQ(corpus[0].name, "chmpxx");
+  EXPECT_EQ(corpus[0].data.size(), 121'024u);
+  EXPECT_EQ(corpus[0].kind, CorpusKind::kStandardBenchmark);
+  for (const auto& f : corpus) {
+    EXPECT_FALSE(f.data.empty());
+    EXPECT_TRUE(std::all_of(f.data.begin(), f.data.end(), is_strict_base));
+  }
+  // Synthetic sizes are within bounds and broadly increasing.
+  EXPECT_GE(corpus[7].data.size(), opts.min_size);
+  EXPECT_LE(corpus.back().data.size(),
+            static_cast<std::size_t>(opts.max_size * 1.09));
+  EXPECT_LT(corpus[7].data.size(), corpus.back().data.size());
+}
+
+TEST(Corpus, DeterministicForSeed) {
+  CorpusOptions opts;
+  opts.synthetic_count = 3;
+  const auto a = build_corpus(opts);
+  const auto b = build_corpus(opts);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].data, b[i].data);
+  }
+}
+
+TEST(Corpus, SplitIs75_25ByFile) {
+  const auto split = split_corpus(132);
+  EXPECT_EQ(split.train.size(), 99u);
+  EXPECT_EQ(split.test.size(), 33u);
+  // Disjoint and covering.
+  std::set<std::size_t> all(split.train.begin(), split.train.end());
+  all.insert(split.test.begin(), split.test.end());
+  EXPECT_EQ(all.size(), 132u);
+}
+
+TEST(Corpus, WritesFastaFiles) {
+  CorpusOptions opts;
+  opts.synthetic_count = 2;
+  opts.min_size = 4096;
+  opts.max_size = 8192;
+  const auto corpus = build_corpus(opts);
+  const auto dir = ::testing::TempDir() + "/corpus_out";
+  const auto paths = write_corpus_fasta(corpus, dir);
+  ASSERT_EQ(paths.size(), corpus.size());
+  // Spot-check one file parses back to the same sequence.
+  std::ifstream is(paths[0], std::ios::binary);
+  std::stringstream ss;
+  ss << is.rdbuf();
+  const auto recs = parse_fasta(ss.str());
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0].sequence, corpus[0].data);
+}
+
+}  // namespace
+}  // namespace dnacomp::sequence

@@ -1,0 +1,262 @@
+// Unit tests for src/util: RNG, stats, CSV, table printing, thread pool,
+// memory tracking and the check macros.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <memory_resource>
+#include <set>
+#include <sstream>
+#include <thread>
+
+#include "util/check.h"
+#include "util/csv.h"
+#include "util/memory_tracker.h"
+#include "util/random.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+
+namespace dnacomp {
+namespace {
+
+TEST(Check, ThrowsLogicErrorWithLocation) {
+  EXPECT_NO_THROW(DC_CHECK(1 + 1 == 2));
+  try {
+    DC_CHECK_MSG(false, "context message");
+    FAIL() << "expected throw";
+  } catch (const std::logic_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("context message"), std::string::npos);
+    EXPECT_NE(what.find("test_util.cpp"), std::string::npos);
+  }
+}
+
+TEST(Random, DeterministicAcrossInstances) {
+  util::Xoshiro256 a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Random, DifferentSeedsDiverge) {
+  util::Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.next() == b.next();
+  EXPECT_LT(same, 3);
+}
+
+TEST(Random, NextBelowRespectsBound) {
+  util::Xoshiro256 rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 17ull, 1000ull}) {
+    for (int i = 0; i < 2000; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Random, NextBelowCoversRange) {
+  util::Xoshiro256 rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.next_below(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Random, DoubleInUnitInterval) {
+  util::Xoshiro256 rng(9);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Random, GaussianMoments) {
+  util::Xoshiro256 rng(11);
+  double sum = 0, sq = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.next_gaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Random, GeometricRespectsClamp) {
+  util::Xoshiro256 rng(13);
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.next_geometric(50.0, 10, 200);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 200u);
+  }
+}
+
+TEST(Random, WeightedChoiceDistribution) {
+  util::Xoshiro256 rng(17);
+  const std::vector<double> w = {1.0, 3.0, 0.0, 6.0};
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[util::weighted_choice(rng, w)];
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(counts[0] / 20000.0, 0.1, 0.02);
+  EXPECT_NEAR(counts[1] / 20000.0, 0.3, 0.02);
+  EXPECT_NEAR(counts[3] / 20000.0, 0.6, 0.02);
+}
+
+TEST(Random, WeightedChoiceRejectsBadInput) {
+  util::Xoshiro256 rng(1);
+  EXPECT_THROW(util::weighted_choice(rng, std::vector<double>{}),
+               std::logic_error);
+  EXPECT_THROW(util::weighted_choice(rng, std::vector<double>{0.0, 0.0}),
+               std::logic_error);
+}
+
+TEST(Stats, SummaryBasics) {
+  const std::vector<double> xs = {4.0, 1.0, 3.0, 2.0};
+  const auto s = util::summarize(xs);
+  EXPECT_EQ(s.n, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+  EXPECT_NEAR(s.stddev, std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> xs = {10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(util::percentile(xs, 0), 10.0);
+  EXPECT_DOUBLE_EQ(util::percentile(xs, 100), 40.0);
+  EXPECT_DOUBLE_EQ(util::percentile(xs, 50), 25.0);
+}
+
+TEST(Stats, MinMaxNormalize) {
+  const std::vector<double> xs = {2.0, 4.0, 6.0};
+  const auto n = util::min_max_normalize(xs);
+  EXPECT_DOUBLE_EQ(n[0], 0.0);
+  EXPECT_DOUBLE_EQ(n[1], 0.5);
+  EXPECT_DOUBLE_EQ(n[2], 1.0);
+  const std::vector<double> flat = {3.0, 3.0};
+  const auto nf = util::min_max_normalize(flat);
+  EXPECT_DOUBLE_EQ(nf[0], 0.0);
+  EXPECT_DOUBLE_EQ(nf[1], 0.0);
+}
+
+TEST(Stats, PearsonCorrelation) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  const std::vector<double> ys = {2, 4, 6, 8, 10};
+  EXPECT_NEAR(util::pearson(xs, ys), 1.0, 1e-12);
+  const std::vector<double> zs = {10, 8, 6, 4, 2};
+  EXPECT_NEAR(util::pearson(xs, zs), -1.0, 1e-12);
+  const std::vector<double> c = {3, 3, 3, 3, 3};
+  EXPECT_DOUBLE_EQ(util::pearson(xs, c), 0.0);
+}
+
+TEST(Csv, EscapingRoundTrip) {
+  EXPECT_EQ(util::csv_escape("plain"), "plain");
+  EXPECT_EQ(util::csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(util::csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(Csv, WriterProducesParsableOutput) {
+  std::ostringstream os;
+  util::CsvWriter w(os);
+  w.field("name").field("with,comma").field(std::int64_t{-5});
+  w.end_row();
+  w.field(1.5).field("line\nbreak");
+  w.end_row();
+  const auto rows = util::parse_csv(os.str());
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"name", "with,comma", "-5"}));
+  EXPECT_EQ(rows[1][0], "1.5");
+  EXPECT_EQ(rows[1][1], "line\nbreak");
+}
+
+TEST(Csv, ParseHandlesCrlfAndEmptyFields) {
+  const auto rows = util::parse_csv("a,,c\r\n,x,\r\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"", "x", ""}));
+}
+
+TEST(Table, AlignsColumnsAndFormats) {
+  util::TablePrinter tp({"algo", "size"});
+  tp.add_row({"dnax", util::TablePrinter::bytes(1536)});
+  std::ostringstream os;
+  tp.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| algo"), std::string::npos);
+  EXPECT_NE(out.find("1.5 KB"), std::string::npos);
+  EXPECT_EQ(util::TablePrinter::num(3.14159, 2), "3.14");
+  EXPECT_EQ(util::TablePrinter::pct(0.4216, 1), "42.2%");
+  EXPECT_EQ(util::TablePrinter::bytes(100), "100 B");
+  EXPECT_EQ(util::TablePrinter::bytes(3u << 20), "3.00 MB");
+}
+
+TEST(Table, RejectsRaggedRow) {
+  util::TablePrinter tp({"a", "b"});
+  EXPECT_THROW(tp.add_row({"only one"}), std::logic_error);
+}
+
+TEST(ThreadPool, RunsAllIndices) {
+  util::ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  pool.parallel_for(100, [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  util::ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(10,
+                                 [&](std::size_t i) {
+                                   if (i == 7) throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, SingleThreadPoolStillCompletes) {
+  util::ThreadPool pool(1);
+  std::atomic<int> sum{0};
+  pool.parallel_for(50, [&](std::size_t i) { sum += static_cast<int>(i); });
+  EXPECT_EQ(sum.load(), 49 * 50 / 2);
+}
+
+TEST(MemoryTracker, TracksPeakThroughPmr) {
+  util::TrackingResource res;
+  {
+    std::pmr::vector<std::uint64_t> v(&res);
+    v.resize(1000);
+    EXPECT_GE(res.current_bytes(), 8000u);
+    v.clear();
+    v.shrink_to_fit();
+  }
+  EXPECT_EQ(res.current_bytes(), 0u);
+  EXPECT_GE(res.peak_bytes(), 8000u);
+  EXPECT_GE(res.allocation_count(), 1u);
+}
+
+TEST(MemoryTracker, ExternalAllocationRaii) {
+  util::TrackingResource res;
+  {
+    util::ExternalAllocation a(res, 1 << 20);
+    EXPECT_EQ(res.current_bytes(), std::size_t{1} << 20);
+    a.resize(2 << 20);
+    EXPECT_EQ(res.current_bytes(), std::size_t{2} << 20);
+  }
+  EXPECT_EQ(res.current_bytes(), 0u);
+  EXPECT_EQ(res.peak_bytes(), std::size_t{2} << 20);
+  res.reset();
+  EXPECT_EQ(res.peak_bytes(), 0u);
+}
+
+TEST(MemoryTracker, PeakIsMaxNotSum) {
+  util::TrackingResource res;
+  for (int i = 0; i < 5; ++i) {
+    util::ExternalAllocation a(res, 1000);
+  }
+  EXPECT_EQ(res.peak_bytes(), 1000u);
+}
+
+}  // namespace
+}  // namespace dnacomp

@@ -1,0 +1,109 @@
+// Tests for ml/validation: k-fold cross-validation (incl. grouped folds)
+// and the Graphviz rule export.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ml/cart.h"
+#include "ml/chaid.h"
+#include "ml/validation.h"
+#include "util/random.h"
+
+namespace dnacomp::ml {
+namespace {
+
+DataTable threshold_task(std::size_t n, std::uint64_t seed) {
+  DataTable t({"x0", "x1"}, {"neg", "pos"});
+  util::Xoshiro256 rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x0 = rng.next_double();
+    const double x1 = rng.next_double();
+    t.add_row(std::vector<double>{x0, x1}, x0 > 0.5 ? 1 : 0);
+  }
+  return t;
+}
+
+Trainer cart_trainer() {
+  return [](const DataTable& train) -> std::unique_ptr<Classifier> {
+    return CartClassifier::fit(train);
+  };
+}
+
+TEST(CrossValidation, LearnableTaskScoresHigh) {
+  const auto data = threshold_task(600, 3);
+  const auto cv = cross_validate(data, cart_trainer(), 5, 7);
+  EXPECT_EQ(cv.fold_accuracies.size(), 5u);
+  EXPECT_GT(cv.mean, 0.93);
+  EXPECT_LT(cv.stddev, 0.08);
+}
+
+TEST(CrossValidation, RandomLabelsScoreNearChance) {
+  DataTable t({"x"}, {"a", "b"});
+  util::Xoshiro256 rng(5);
+  for (int i = 0; i < 600; ++i) {
+    t.add_row(std::vector<double>{rng.next_double()},
+              rng.next_bool(0.5) ? 1 : 0);
+  }
+  const auto cv = cross_validate(t, cart_trainer(), 5, 7);
+  EXPECT_LT(cv.mean, 0.62);
+  EXPECT_GT(cv.mean, 0.38);
+}
+
+TEST(CrossValidation, DeterministicForSeed) {
+  const auto data = threshold_task(400, 11);
+  const auto a = cross_validate(data, cart_trainer(), 4, 9);
+  const auto b = cross_validate(data, cart_trainer(), 4, 9);
+  EXPECT_EQ(a.fold_accuracies, b.fold_accuracies);
+}
+
+TEST(CrossValidation, GroupsStayTogether) {
+  // Label equals a per-group coin flip: if groups leak across folds the CV
+  // accuracy is inflated far above chance; with honest grouping it must be
+  // near 50%.
+  DataTable t({"group_id"}, {"a", "b"});
+  std::vector<std::size_t> groups;
+  util::Xoshiro256 rng(13);
+  for (std::size_t g = 0; g < 60; ++g) {
+    const int label = rng.next_bool(0.5) ? 1 : 0;
+    for (int rep = 0; rep < 8; ++rep) {
+      t.add_row(std::vector<double>{static_cast<double>(g)}, label);
+      groups.push_back(g);
+    }
+  }
+  const auto leaky = cross_validate(t, cart_trainer(), 5, 17);
+  const auto grouped = cross_validate(t, cart_trainer(), 5, 17, groups);
+  EXPECT_GT(leaky.mean, 0.75);   // memorises the group id (up to stopping)
+  EXPECT_LT(grouped.mean, 0.65); // honest: group ids unseen at test time
+  EXPECT_GT(leaky.mean, grouped.mean + 0.15);
+}
+
+TEST(CrossValidation, RejectsBadArguments) {
+  const auto data = threshold_task(50, 1);
+  EXPECT_THROW(cross_validate(data, cart_trainer(), 1, 1), std::logic_error);
+  const std::vector<std::size_t> short_groups(10, 0);
+  EXPECT_THROW(cross_validate(data, cart_trainer(), 5, 1, short_groups),
+               std::logic_error);
+}
+
+TEST(RulesToDot, ProducesValidLookingGraph) {
+  const auto data = threshold_task(500, 19);
+  const auto model = CartClassifier::fit(data);
+  const auto dot = rules_to_dot(*model, "cart_rules");
+  EXPECT_NE(dot.find("digraph cart_rules {"), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+  EXPECT_NE(dot.find("x0"), std::string::npos);
+  EXPECT_NE(dot.find("pos"), std::string::npos);
+  EXPECT_NE(dot.find("neg"), std::string::npos);
+  EXPECT_EQ(dot.back(), '\n');
+}
+
+TEST(RulesToDot, WorksForChaidToo) {
+  const auto data = threshold_task(500, 23);
+  const auto model = ChaidClassifier::fit(data);
+  const auto dot = rules_to_dot(*model);
+  EXPECT_NE(dot.find("digraph rules {"), std::string::npos);
+  EXPECT_NE(dot.find("CHAID"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dnacomp::ml

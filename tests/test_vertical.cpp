@@ -1,0 +1,152 @@
+// Tests for the vertical-mode (reference-based) compressor — the paper's
+// future-work extension.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "compressors/compressor.h"
+#include "compressors/vertical/refcompress.h"
+#include "sequence/alphabet.h"
+#include "sequence/generator.h"
+#include "util/random.h"
+
+namespace dnacomp::compressors {
+namespace {
+
+std::string make_sequence(std::size_t n, std::uint64_t seed) {
+  sequence::GeneratorParams gp;
+  gp.length = n;
+  gp.seed = seed;
+  return sequence::generate_dna(gp);
+}
+
+// Apply same-species style edits: SNPs at `snp_rate`, plus occasional short
+// insertions/deletions.
+std::string mutate_like_species(const std::string& ref, double snp_rate,
+                                double indel_rate, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::string out;
+  out.reserve(ref.size());
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    if (rng.next_bool(indel_rate)) {
+      if (rng.next_bool(0.5)) {
+        // Short insertion.
+        const auto len = 1 + rng.next_below(8);
+        for (std::uint64_t t = 0; t < len; ++t) {
+          out.push_back(
+              sequence::code_to_base(static_cast<std::uint8_t>(rng.next_below(4))));
+        }
+      } else {
+        // Short deletion.
+        i += rng.next_below(8);
+        continue;
+      }
+    }
+    char c = ref[i];
+    if (rng.next_bool(snp_rate)) {
+      c = sequence::code_to_base(static_cast<std::uint8_t>(
+          (sequence::base_to_code(c) + 1 + rng.next_below(3)) & 3));
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+TEST(RefCompress, RoundTripIdenticalTarget) {
+  const std::string ref = make_sequence(100'000, 1);
+  const RefCompressor codec(ref);
+  const auto compressed = codec.compress(ref);
+  EXPECT_EQ(codec.decompress(compressed), ref);
+  // An identical target costs a handful of RM tokens: tiny.
+  EXPECT_LT(compressed.size(), 200u);
+}
+
+TEST(RefCompress, RoundTripSameSpeciesTarget) {
+  const std::string ref = make_sequence(200'000, 2);
+  // ~0.1% SNPs: the paper's "same species are 99.9% the same".
+  const std::string target = mutate_like_species(ref, 0.001, 0.00005, 3);
+  const RefCompressor codec(ref);
+  const auto compressed = codec.compress(target);
+  EXPECT_EQ(codec.decompress(compressed), target);
+  // Far beyond anything horizontal: < 0.1 bpc.
+  EXPECT_LT(8.0 * static_cast<double>(compressed.size()) /
+                static_cast<double>(target.size()),
+            0.1);
+}
+
+TEST(RefCompress, BeatsHorizontalOnSameSpecies) {
+  const std::string ref = make_sequence(150'000, 4);
+  const std::string target = mutate_like_species(ref, 0.002, 0.0001, 5);
+  const RefCompressor vertical(ref);
+  const auto v = vertical.compress(target).size();
+  const auto h = make_compressor("gencompress")->compress_str(target).size();
+  // Vertical mode should win by an order of magnitude at least.
+  EXPECT_LT(static_cast<double>(v) * 10.0, static_cast<double>(h));
+}
+
+TEST(RefCompress, HandlesUnrelatedTarget) {
+  // No usable matches: everything goes through the raw/literal path, still
+  // correct and roughly order-2 entropy.
+  const std::string ref = make_sequence(50'000, 6);
+  const std::string target = make_sequence(50'000, 7);
+  const RefCompressor codec(ref);
+  const auto compressed = codec.compress(target);
+  EXPECT_EQ(codec.decompress(compressed), target);
+  EXPECT_LT(8.0 * static_cast<double>(compressed.size()) /
+                static_cast<double>(target.size()),
+            2.1);
+}
+
+TEST(RefCompress, RejectsWrongReference) {
+  const std::string ref_a = make_sequence(20'000, 8);
+  const std::string ref_b = make_sequence(20'000, 9);
+  const RefCompressor codec_a(ref_a);
+  const RefCompressor codec_b(ref_b);
+  const auto stream = codec_a.compress(mutate_like_species(ref_a, 0.001, 0, 10));
+  EXPECT_THROW((void)codec_b.decompress(stream), std::runtime_error);
+}
+
+TEST(RefCompress, RejectsNonDnaInput) {
+  EXPECT_THROW(RefCompressor("ACGTN"), std::invalid_argument);
+  const RefCompressor codec(make_sequence(1000, 11));
+  EXPECT_THROW((void)codec.compress("not dna"), std::invalid_argument);
+}
+
+TEST(RefCompress, EmptyTarget) {
+  const RefCompressor codec(make_sequence(1000, 12));
+  const auto compressed = codec.compress("");
+  EXPECT_EQ(codec.decompress(compressed), "");
+}
+
+TEST(RefCompress, TinyReference) {
+  // Reference shorter than the seed length: everything is literal-coded.
+  const RefCompressor codec("ACGTACGT");
+  const std::string target = make_sequence(5'000, 13);
+  const auto compressed = codec.compress(target);
+  EXPECT_EQ(codec.decompress(compressed), target);
+}
+
+TEST(RefCompress, TruncatedStreamFailsLoudly) {
+  const std::string ref = make_sequence(30'000, 14);
+  const RefCompressor codec(ref);
+  auto stream = codec.compress(mutate_like_species(ref, 0.005, 0.0001, 15));
+  stream.resize(stream.size() / 2);
+  bool loud = false;
+  try {
+    const auto out = codec.decompress(stream);
+    loud = out != ref;
+  } catch (const std::exception&) {
+    loud = true;
+  }
+  EXPECT_TRUE(loud);
+}
+
+TEST(RefCompress, FingerprintIsContentBased) {
+  EXPECT_EQ(compute_reference_fingerprint("ACGT"),
+            compute_reference_fingerprint("ACGT"));
+  EXPECT_NE(compute_reference_fingerprint("ACGT"),
+            compute_reference_fingerprint("ACGA"));
+}
+
+}  // namespace
+}  // namespace dnacomp::compressors
