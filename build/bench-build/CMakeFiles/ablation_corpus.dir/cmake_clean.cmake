@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_corpus"
+  "../bench/ablation_corpus.pdb"
+  "CMakeFiles/ablation_corpus.dir/ablation_corpus.cpp.o"
+  "CMakeFiles/ablation_corpus.dir/ablation_corpus.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench_support/libdnacomp_benchlib.a"
+  "../bench_support/libdnacomp_benchlib.pdb"
+  "CMakeFiles/dnacomp_benchlib.dir/bench_common.cpp.o"
+  "CMakeFiles/dnacomp_benchlib.dir/bench_common.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnacomp_benchlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../bench_support/libdnacomp_benchlib.a"
+)

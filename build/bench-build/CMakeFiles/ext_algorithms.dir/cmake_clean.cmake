@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_algorithms"
+  "../bench/ext_algorithms.pdb"
+  "CMakeFiles/ext_algorithms.dir/ext_algorithms.cpp.o"
+  "CMakeFiles/ext_algorithms.dir/ext_algorithms.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

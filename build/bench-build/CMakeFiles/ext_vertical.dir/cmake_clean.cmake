@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_vertical"
+  "../bench/ext_vertical.pdb"
+  "CMakeFiles/ext_vertical.dir/ext_vertical.cpp.o"
+  "CMakeFiles/ext_vertical.dir/ext_vertical.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_vertical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig02_upload_time"
+  "../bench/fig02_upload_time.pdb"
+  "CMakeFiles/fig02_upload_time.dir/fig02_upload_time.cpp.o"
+  "CMakeFiles/fig02_upload_time.dir/fig02_upload_time.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_upload_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

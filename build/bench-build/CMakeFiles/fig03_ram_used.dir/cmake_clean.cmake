@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig03_ram_used"
+  "../bench/fig03_ram_used.pdb"
+  "CMakeFiles/fig03_ram_used.dir/fig03_ram_used.cpp.o"
+  "CMakeFiles/fig03_ram_used.dir/fig03_ram_used.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_ram_used.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig04_compressed_size.cpp" "bench-build/CMakeFiles/fig04_compressed_size.dir/fig04_compressed_size.cpp.o" "gcc" "bench-build/CMakeFiles/fig04_compressed_size.dir/fig04_compressed_size.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench-build/CMakeFiles/dnacomp_benchlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dnacomp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/dnacomp_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/dnacomp_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/compressors/CMakeFiles/dnacomp_compressors.dir/DependInfo.cmake"
+  "/root/repo/build/src/sequence/CMakeFiles/dnacomp_sequence.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitio/CMakeFiles/dnacomp_bitio.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dnacomp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

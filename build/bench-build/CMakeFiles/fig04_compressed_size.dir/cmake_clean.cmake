@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig04_compressed_size"
+  "../bench/fig04_compressed_size.pdb"
+  "CMakeFiles/fig04_compressed_size.dir/fig04_compressed_size.cpp.o"
+  "CMakeFiles/fig04_compressed_size.dir/fig04_compressed_size.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_compressed_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig06_download_time"
+  "../bench/fig06_download_time.pdb"
+  "CMakeFiles/fig06_download_time.dir/fig06_download_time.cpp.o"
+  "CMakeFiles/fig06_download_time.dir/fig06_download_time.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_download_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_test_corpus"
+  "../bench/fig08_test_corpus.pdb"
+  "CMakeFiles/fig08_test_corpus.dir/fig08_test_corpus.cpp.o"
+  "CMakeFiles/fig08_test_corpus.dir/fig08_test_corpus.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_test_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_chaid_time"
+  "../bench/fig09_chaid_time.pdb"
+  "CMakeFiles/fig09_chaid_time.dir/fig09_chaid_time.cpp.o"
+  "CMakeFiles/fig09_chaid_time.dir/fig09_chaid_time.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_chaid_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

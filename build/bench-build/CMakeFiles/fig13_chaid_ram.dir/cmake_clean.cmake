@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_chaid_ram"
+  "../bench/fig13_chaid_ram.pdb"
+  "CMakeFiles/fig13_chaid_ram.dir/fig13_chaid_ram.cpp.o"
+  "CMakeFiles/fig13_chaid_ram.dir/fig13_chaid_ram.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_chaid_ram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

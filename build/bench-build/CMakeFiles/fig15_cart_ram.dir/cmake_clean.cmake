@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig15_cart_ram"
+  "../bench/fig15_cart_ram.pdb"
+  "CMakeFiles/fig15_cart_ram.dir/fig15_cart_ram.cpp.o"
+  "CMakeFiles/fig15_cart_ram.dir/fig15_cart_ram.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_cart_ram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_codecs"
+  "../bench/micro_codecs.pdb"
+  "CMakeFiles/micro_codecs.dir/micro_codecs.cpp.o"
+  "CMakeFiles/micro_codecs.dir/micro_codecs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_codecs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_algorithms"
+  "../bench/table1_algorithms.pdb"
+  "CMakeFiles/table1_algorithms.dir/table1_algorithms.cpp.o"
+  "CMakeFiles/table1_algorithms.dir/table1_algorithms.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

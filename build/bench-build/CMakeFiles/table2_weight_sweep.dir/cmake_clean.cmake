@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_weight_sweep"
+  "../bench/table2_weight_sweep.pdb"
+  "CMakeFiles/table2_weight_sweep.dir/table2_weight_sweep.cpp.o"
+  "CMakeFiles/table2_weight_sweep.dir/table2_weight_sweep.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_weight_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloud_exchange.dir/cloud_exchange.cpp.o"
+  "CMakeFiles/cloud_exchange.dir/cloud_exchange.cpp.o.d"
+  "cloud_exchange"
+  "cloud_exchange.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloud_exchange.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

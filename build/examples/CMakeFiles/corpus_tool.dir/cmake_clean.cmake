@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corpus_tool.dir/corpus_tool.cpp.o"
+  "CMakeFiles/corpus_tool.dir/corpus_tool.cpp.o.d"
+  "corpus_tool"
+  "corpus_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corpus_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

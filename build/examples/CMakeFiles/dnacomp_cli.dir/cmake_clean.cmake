@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnacomp_cli.dir/dnacomp_cli.cpp.o"
+  "CMakeFiles/dnacomp_cli.dir/dnacomp_cli.cpp.o.d"
+  "dnacomp_cli"
+  "dnacomp_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnacomp_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

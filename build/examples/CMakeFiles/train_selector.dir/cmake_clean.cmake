@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_selector.dir/train_selector.cpp.o"
+  "CMakeFiles/train_selector.dir/train_selector.cpp.o.d"
+  "train_selector"
+  "train_selector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_selector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

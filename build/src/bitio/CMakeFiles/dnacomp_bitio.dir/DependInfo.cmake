@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bitio/bit_stream.cpp" "src/bitio/CMakeFiles/dnacomp_bitio.dir/bit_stream.cpp.o" "gcc" "src/bitio/CMakeFiles/dnacomp_bitio.dir/bit_stream.cpp.o.d"
+  "/root/repo/src/bitio/elias.cpp" "src/bitio/CMakeFiles/dnacomp_bitio.dir/elias.cpp.o" "gcc" "src/bitio/CMakeFiles/dnacomp_bitio.dir/elias.cpp.o.d"
+  "/root/repo/src/bitio/fibonacci.cpp" "src/bitio/CMakeFiles/dnacomp_bitio.dir/fibonacci.cpp.o" "gcc" "src/bitio/CMakeFiles/dnacomp_bitio.dir/fibonacci.cpp.o.d"
+  "/root/repo/src/bitio/huffman.cpp" "src/bitio/CMakeFiles/dnacomp_bitio.dir/huffman.cpp.o" "gcc" "src/bitio/CMakeFiles/dnacomp_bitio.dir/huffman.cpp.o.d"
+  "/root/repo/src/bitio/models.cpp" "src/bitio/CMakeFiles/dnacomp_bitio.dir/models.cpp.o" "gcc" "src/bitio/CMakeFiles/dnacomp_bitio.dir/models.cpp.o.d"
+  "/root/repo/src/bitio/range_coder.cpp" "src/bitio/CMakeFiles/dnacomp_bitio.dir/range_coder.cpp.o" "gcc" "src/bitio/CMakeFiles/dnacomp_bitio.dir/range_coder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dnacomp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

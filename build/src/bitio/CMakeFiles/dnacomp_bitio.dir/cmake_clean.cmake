@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnacomp_bitio.dir/bit_stream.cpp.o"
+  "CMakeFiles/dnacomp_bitio.dir/bit_stream.cpp.o.d"
+  "CMakeFiles/dnacomp_bitio.dir/elias.cpp.o"
+  "CMakeFiles/dnacomp_bitio.dir/elias.cpp.o.d"
+  "CMakeFiles/dnacomp_bitio.dir/fibonacci.cpp.o"
+  "CMakeFiles/dnacomp_bitio.dir/fibonacci.cpp.o.d"
+  "CMakeFiles/dnacomp_bitio.dir/huffman.cpp.o"
+  "CMakeFiles/dnacomp_bitio.dir/huffman.cpp.o.d"
+  "CMakeFiles/dnacomp_bitio.dir/models.cpp.o"
+  "CMakeFiles/dnacomp_bitio.dir/models.cpp.o.d"
+  "CMakeFiles/dnacomp_bitio.dir/range_coder.cpp.o"
+  "CMakeFiles/dnacomp_bitio.dir/range_coder.cpp.o.d"
+  "libdnacomp_bitio.a"
+  "libdnacomp_bitio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnacomp_bitio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

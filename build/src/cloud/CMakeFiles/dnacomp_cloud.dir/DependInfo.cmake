@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cloud/blob_store.cpp" "src/cloud/CMakeFiles/dnacomp_cloud.dir/blob_store.cpp.o" "gcc" "src/cloud/CMakeFiles/dnacomp_cloud.dir/blob_store.cpp.o.d"
+  "/root/repo/src/cloud/transfer_model.cpp" "src/cloud/CMakeFiles/dnacomp_cloud.dir/transfer_model.cpp.o" "gcc" "src/cloud/CMakeFiles/dnacomp_cloud.dir/transfer_model.cpp.o.d"
+  "/root/repo/src/cloud/vm.cpp" "src/cloud/CMakeFiles/dnacomp_cloud.dir/vm.cpp.o" "gcc" "src/cloud/CMakeFiles/dnacomp_cloud.dir/vm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dnacomp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnacomp_cloud.dir/blob_store.cpp.o"
+  "CMakeFiles/dnacomp_cloud.dir/blob_store.cpp.o.d"
+  "CMakeFiles/dnacomp_cloud.dir/transfer_model.cpp.o"
+  "CMakeFiles/dnacomp_cloud.dir/transfer_model.cpp.o.d"
+  "CMakeFiles/dnacomp_cloud.dir/vm.cpp.o"
+  "CMakeFiles/dnacomp_cloud.dir/vm.cpp.o.d"
+  "libdnacomp_cloud.a"
+  "libdnacomp_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnacomp_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compressors/bio2/bio2.cpp" "src/compressors/CMakeFiles/dnacomp_compressors.dir/bio2/bio2.cpp.o" "gcc" "src/compressors/CMakeFiles/dnacomp_compressors.dir/bio2/bio2.cpp.o.d"
+  "/root/repo/src/compressors/compressor.cpp" "src/compressors/CMakeFiles/dnacomp_compressors.dir/compressor.cpp.o" "gcc" "src/compressors/CMakeFiles/dnacomp_compressors.dir/compressor.cpp.o.d"
+  "/root/repo/src/compressors/ctw/ctw.cpp" "src/compressors/CMakeFiles/dnacomp_compressors.dir/ctw/ctw.cpp.o" "gcc" "src/compressors/CMakeFiles/dnacomp_compressors.dir/ctw/ctw.cpp.o.d"
+  "/root/repo/src/compressors/dnapack/dnapack.cpp" "src/compressors/CMakeFiles/dnacomp_compressors.dir/dnapack/dnapack.cpp.o" "gcc" "src/compressors/CMakeFiles/dnacomp_compressors.dir/dnapack/dnapack.cpp.o.d"
+  "/root/repo/src/compressors/dnax/dnax.cpp" "src/compressors/CMakeFiles/dnacomp_compressors.dir/dnax/dnax.cpp.o" "gcc" "src/compressors/CMakeFiles/dnacomp_compressors.dir/dnax/dnax.cpp.o.d"
+  "/root/repo/src/compressors/gencompress/gencompress.cpp" "src/compressors/CMakeFiles/dnacomp_compressors.dir/gencompress/gencompress.cpp.o" "gcc" "src/compressors/CMakeFiles/dnacomp_compressors.dir/gencompress/gencompress.cpp.o.d"
+  "/root/repo/src/compressors/gsqz/gsqz.cpp" "src/compressors/CMakeFiles/dnacomp_compressors.dir/gsqz/gsqz.cpp.o" "gcc" "src/compressors/CMakeFiles/dnacomp_compressors.dir/gsqz/gsqz.cpp.o.d"
+  "/root/repo/src/compressors/gzipx/gzipx.cpp" "src/compressors/CMakeFiles/dnacomp_compressors.dir/gzipx/gzipx.cpp.o" "gcc" "src/compressors/CMakeFiles/dnacomp_compressors.dir/gzipx/gzipx.cpp.o.d"
+  "/root/repo/src/compressors/gzipx/lz77.cpp" "src/compressors/CMakeFiles/dnacomp_compressors.dir/gzipx/lz77.cpp.o" "gcc" "src/compressors/CMakeFiles/dnacomp_compressors.dir/gzipx/lz77.cpp.o.d"
+  "/root/repo/src/compressors/naive2/naive2.cpp" "src/compressors/CMakeFiles/dnacomp_compressors.dir/naive2/naive2.cpp.o" "gcc" "src/compressors/CMakeFiles/dnacomp_compressors.dir/naive2/naive2.cpp.o.d"
+  "/root/repo/src/compressors/vertical/refcompress.cpp" "src/compressors/CMakeFiles/dnacomp_compressors.dir/vertical/refcompress.cpp.o" "gcc" "src/compressors/CMakeFiles/dnacomp_compressors.dir/vertical/refcompress.cpp.o.d"
+  "/root/repo/src/compressors/xm/xm.cpp" "src/compressors/CMakeFiles/dnacomp_compressors.dir/xm/xm.cpp.o" "gcc" "src/compressors/CMakeFiles/dnacomp_compressors.dir/xm/xm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bitio/CMakeFiles/dnacomp_bitio.dir/DependInfo.cmake"
+  "/root/repo/build/src/sequence/CMakeFiles/dnacomp_sequence.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dnacomp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

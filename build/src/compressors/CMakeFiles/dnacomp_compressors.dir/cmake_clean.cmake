@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnacomp_compressors.dir/bio2/bio2.cpp.o"
+  "CMakeFiles/dnacomp_compressors.dir/bio2/bio2.cpp.o.d"
+  "CMakeFiles/dnacomp_compressors.dir/compressor.cpp.o"
+  "CMakeFiles/dnacomp_compressors.dir/compressor.cpp.o.d"
+  "CMakeFiles/dnacomp_compressors.dir/ctw/ctw.cpp.o"
+  "CMakeFiles/dnacomp_compressors.dir/ctw/ctw.cpp.o.d"
+  "CMakeFiles/dnacomp_compressors.dir/dnapack/dnapack.cpp.o"
+  "CMakeFiles/dnacomp_compressors.dir/dnapack/dnapack.cpp.o.d"
+  "CMakeFiles/dnacomp_compressors.dir/dnax/dnax.cpp.o"
+  "CMakeFiles/dnacomp_compressors.dir/dnax/dnax.cpp.o.d"
+  "CMakeFiles/dnacomp_compressors.dir/gencompress/gencompress.cpp.o"
+  "CMakeFiles/dnacomp_compressors.dir/gencompress/gencompress.cpp.o.d"
+  "CMakeFiles/dnacomp_compressors.dir/gsqz/gsqz.cpp.o"
+  "CMakeFiles/dnacomp_compressors.dir/gsqz/gsqz.cpp.o.d"
+  "CMakeFiles/dnacomp_compressors.dir/gzipx/gzipx.cpp.o"
+  "CMakeFiles/dnacomp_compressors.dir/gzipx/gzipx.cpp.o.d"
+  "CMakeFiles/dnacomp_compressors.dir/gzipx/lz77.cpp.o"
+  "CMakeFiles/dnacomp_compressors.dir/gzipx/lz77.cpp.o.d"
+  "CMakeFiles/dnacomp_compressors.dir/naive2/naive2.cpp.o"
+  "CMakeFiles/dnacomp_compressors.dir/naive2/naive2.cpp.o.d"
+  "CMakeFiles/dnacomp_compressors.dir/vertical/refcompress.cpp.o"
+  "CMakeFiles/dnacomp_compressors.dir/vertical/refcompress.cpp.o.d"
+  "CMakeFiles/dnacomp_compressors.dir/xm/xm.cpp.o"
+  "CMakeFiles/dnacomp_compressors.dir/xm/xm.cpp.o.d"
+  "libdnacomp_compressors.a"
+  "libdnacomp_compressors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnacomp_compressors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/experiment.cpp" "src/core/CMakeFiles/dnacomp_core.dir/experiment.cpp.o" "gcc" "src/core/CMakeFiles/dnacomp_core.dir/experiment.cpp.o.d"
+  "/root/repo/src/core/framework.cpp" "src/core/CMakeFiles/dnacomp_core.dir/framework.cpp.o" "gcc" "src/core/CMakeFiles/dnacomp_core.dir/framework.cpp.o.d"
+  "/root/repo/src/core/labeling.cpp" "src/core/CMakeFiles/dnacomp_core.dir/labeling.cpp.o" "gcc" "src/core/CMakeFiles/dnacomp_core.dir/labeling.cpp.o.d"
+  "/root/repo/src/core/measurement.cpp" "src/core/CMakeFiles/dnacomp_core.dir/measurement.cpp.o" "gcc" "src/core/CMakeFiles/dnacomp_core.dir/measurement.cpp.o.d"
+  "/root/repo/src/core/training.cpp" "src/core/CMakeFiles/dnacomp_core.dir/training.cpp.o" "gcc" "src/core/CMakeFiles/dnacomp_core.dir/training.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/compressors/CMakeFiles/dnacomp_compressors.dir/DependInfo.cmake"
+  "/root/repo/build/src/sequence/CMakeFiles/dnacomp_sequence.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/dnacomp_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/dnacomp_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dnacomp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitio/CMakeFiles/dnacomp_bitio.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnacomp_core.dir/experiment.cpp.o"
+  "CMakeFiles/dnacomp_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/dnacomp_core.dir/framework.cpp.o"
+  "CMakeFiles/dnacomp_core.dir/framework.cpp.o.d"
+  "CMakeFiles/dnacomp_core.dir/labeling.cpp.o"
+  "CMakeFiles/dnacomp_core.dir/labeling.cpp.o.d"
+  "CMakeFiles/dnacomp_core.dir/measurement.cpp.o"
+  "CMakeFiles/dnacomp_core.dir/measurement.cpp.o.d"
+  "CMakeFiles/dnacomp_core.dir/training.cpp.o"
+  "CMakeFiles/dnacomp_core.dir/training.cpp.o.d"
+  "libdnacomp_core.a"
+  "libdnacomp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnacomp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/cart.cpp" "src/ml/CMakeFiles/dnacomp_ml.dir/cart.cpp.o" "gcc" "src/ml/CMakeFiles/dnacomp_ml.dir/cart.cpp.o.d"
+  "/root/repo/src/ml/chaid.cpp" "src/ml/CMakeFiles/dnacomp_ml.dir/chaid.cpp.o" "gcc" "src/ml/CMakeFiles/dnacomp_ml.dir/chaid.cpp.o.d"
+  "/root/repo/src/ml/chi2.cpp" "src/ml/CMakeFiles/dnacomp_ml.dir/chi2.cpp.o" "gcc" "src/ml/CMakeFiles/dnacomp_ml.dir/chi2.cpp.o.d"
+  "/root/repo/src/ml/data_table.cpp" "src/ml/CMakeFiles/dnacomp_ml.dir/data_table.cpp.o" "gcc" "src/ml/CMakeFiles/dnacomp_ml.dir/data_table.cpp.o.d"
+  "/root/repo/src/ml/discretizer.cpp" "src/ml/CMakeFiles/dnacomp_ml.dir/discretizer.cpp.o" "gcc" "src/ml/CMakeFiles/dnacomp_ml.dir/discretizer.cpp.o.d"
+  "/root/repo/src/ml/metrics.cpp" "src/ml/CMakeFiles/dnacomp_ml.dir/metrics.cpp.o" "gcc" "src/ml/CMakeFiles/dnacomp_ml.dir/metrics.cpp.o.d"
+  "/root/repo/src/ml/validation.cpp" "src/ml/CMakeFiles/dnacomp_ml.dir/validation.cpp.o" "gcc" "src/ml/CMakeFiles/dnacomp_ml.dir/validation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dnacomp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

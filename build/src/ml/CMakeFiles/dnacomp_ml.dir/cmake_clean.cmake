@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnacomp_ml.dir/cart.cpp.o"
+  "CMakeFiles/dnacomp_ml.dir/cart.cpp.o.d"
+  "CMakeFiles/dnacomp_ml.dir/chaid.cpp.o"
+  "CMakeFiles/dnacomp_ml.dir/chaid.cpp.o.d"
+  "CMakeFiles/dnacomp_ml.dir/chi2.cpp.o"
+  "CMakeFiles/dnacomp_ml.dir/chi2.cpp.o.d"
+  "CMakeFiles/dnacomp_ml.dir/data_table.cpp.o"
+  "CMakeFiles/dnacomp_ml.dir/data_table.cpp.o.d"
+  "CMakeFiles/dnacomp_ml.dir/discretizer.cpp.o"
+  "CMakeFiles/dnacomp_ml.dir/discretizer.cpp.o.d"
+  "CMakeFiles/dnacomp_ml.dir/metrics.cpp.o"
+  "CMakeFiles/dnacomp_ml.dir/metrics.cpp.o.d"
+  "CMakeFiles/dnacomp_ml.dir/validation.cpp.o"
+  "CMakeFiles/dnacomp_ml.dir/validation.cpp.o.d"
+  "libdnacomp_ml.a"
+  "libdnacomp_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnacomp_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdnacomp_ml.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sequence/alphabet.cpp" "src/sequence/CMakeFiles/dnacomp_sequence.dir/alphabet.cpp.o" "gcc" "src/sequence/CMakeFiles/dnacomp_sequence.dir/alphabet.cpp.o.d"
+  "/root/repo/src/sequence/cleanser.cpp" "src/sequence/CMakeFiles/dnacomp_sequence.dir/cleanser.cpp.o" "gcc" "src/sequence/CMakeFiles/dnacomp_sequence.dir/cleanser.cpp.o.d"
+  "/root/repo/src/sequence/corpus.cpp" "src/sequence/CMakeFiles/dnacomp_sequence.dir/corpus.cpp.o" "gcc" "src/sequence/CMakeFiles/dnacomp_sequence.dir/corpus.cpp.o.d"
+  "/root/repo/src/sequence/fasta.cpp" "src/sequence/CMakeFiles/dnacomp_sequence.dir/fasta.cpp.o" "gcc" "src/sequence/CMakeFiles/dnacomp_sequence.dir/fasta.cpp.o.d"
+  "/root/repo/src/sequence/fastq.cpp" "src/sequence/CMakeFiles/dnacomp_sequence.dir/fastq.cpp.o" "gcc" "src/sequence/CMakeFiles/dnacomp_sequence.dir/fastq.cpp.o.d"
+  "/root/repo/src/sequence/generator.cpp" "src/sequence/CMakeFiles/dnacomp_sequence.dir/generator.cpp.o" "gcc" "src/sequence/CMakeFiles/dnacomp_sequence.dir/generator.cpp.o.d"
+  "/root/repo/src/sequence/packed_dna.cpp" "src/sequence/CMakeFiles/dnacomp_sequence.dir/packed_dna.cpp.o" "gcc" "src/sequence/CMakeFiles/dnacomp_sequence.dir/packed_dna.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dnacomp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnacomp_sequence.dir/alphabet.cpp.o"
+  "CMakeFiles/dnacomp_sequence.dir/alphabet.cpp.o.d"
+  "CMakeFiles/dnacomp_sequence.dir/cleanser.cpp.o"
+  "CMakeFiles/dnacomp_sequence.dir/cleanser.cpp.o.d"
+  "CMakeFiles/dnacomp_sequence.dir/corpus.cpp.o"
+  "CMakeFiles/dnacomp_sequence.dir/corpus.cpp.o.d"
+  "CMakeFiles/dnacomp_sequence.dir/fasta.cpp.o"
+  "CMakeFiles/dnacomp_sequence.dir/fasta.cpp.o.d"
+  "CMakeFiles/dnacomp_sequence.dir/fastq.cpp.o"
+  "CMakeFiles/dnacomp_sequence.dir/fastq.cpp.o.d"
+  "CMakeFiles/dnacomp_sequence.dir/generator.cpp.o"
+  "CMakeFiles/dnacomp_sequence.dir/generator.cpp.o.d"
+  "CMakeFiles/dnacomp_sequence.dir/packed_dna.cpp.o"
+  "CMakeFiles/dnacomp_sequence.dir/packed_dna.cpp.o.d"
+  "libdnacomp_sequence.a"
+  "libdnacomp_sequence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnacomp_sequence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

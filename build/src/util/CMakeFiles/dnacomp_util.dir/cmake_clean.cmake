@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnacomp_util.dir/csv.cpp.o"
+  "CMakeFiles/dnacomp_util.dir/csv.cpp.o.d"
+  "CMakeFiles/dnacomp_util.dir/memory_tracker.cpp.o"
+  "CMakeFiles/dnacomp_util.dir/memory_tracker.cpp.o.d"
+  "CMakeFiles/dnacomp_util.dir/random.cpp.o"
+  "CMakeFiles/dnacomp_util.dir/random.cpp.o.d"
+  "CMakeFiles/dnacomp_util.dir/stats.cpp.o"
+  "CMakeFiles/dnacomp_util.dir/stats.cpp.o.d"
+  "CMakeFiles/dnacomp_util.dir/table.cpp.o"
+  "CMakeFiles/dnacomp_util.dir/table.cpp.o.d"
+  "CMakeFiles/dnacomp_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/dnacomp_util.dir/thread_pool.cpp.o.d"
+  "libdnacomp_util.a"
+  "libdnacomp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnacomp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

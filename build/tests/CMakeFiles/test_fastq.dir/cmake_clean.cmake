@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fastq.dir/test_fastq.cpp.o"
+  "CMakeFiles/test_fastq.dir/test_fastq.cpp.o.d"
+  "test_fastq"
+  "test_fastq.pdb"
+  "test_fastq[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fastq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_labeling_modes.dir/test_labeling_modes.cpp.o"
+  "CMakeFiles/test_labeling_modes.dir/test_labeling_modes.cpp.o.d"
+  "test_labeling_modes"
+  "test_labeling_modes.pdb"
+  "test_labeling_modes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_labeling_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

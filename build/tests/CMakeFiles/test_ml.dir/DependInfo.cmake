@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_ml.cpp" "tests/CMakeFiles/test_ml.dir/test_ml.cpp.o" "gcc" "tests/CMakeFiles/test_ml.dir/test_ml.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dnacomp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/dnacomp_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/dnacomp_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/compressors/CMakeFiles/dnacomp_compressors.dir/DependInfo.cmake"
+  "/root/repo/build/src/sequence/CMakeFiles/dnacomp_sequence.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitio/CMakeFiles/dnacomp_bitio.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dnacomp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

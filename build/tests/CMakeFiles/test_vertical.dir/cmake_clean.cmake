@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vertical.dir/test_vertical.cpp.o"
+  "CMakeFiles/test_vertical.dir/test_vertical.cpp.o.d"
+  "test_vertical"
+  "test_vertical.pdb"
+  "test_vertical[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vertical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
