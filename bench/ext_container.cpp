@@ -1,0 +1,181 @@
+// DCB container bench: blocked vs monolithic compression on a large
+// synthetic sequence, across block sizes, for the fast codecs.
+//
+// Reports per (codec, block size): wall-clock speedup of parallel blocked
+// compression over the monolithic run, and the compressed-size regression
+// the blocking costs (per-block codec restarts + container framing).
+//
+// Acceptance gate (asserted when the host has >= 4 hardware threads, since
+// parallel speedup is physically impossible on fewer cores): at the default
+// 256 KiB block size, DNAX and GzipX must compress >= 2x faster blocked
+// with >= 4 threads than monolithic, with <= 5 % size regression. Results
+// land in BENCH_container.json either way.
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "compressors/compressor.h"
+#include "compressors/container.h"
+#include "sequence/generator.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+using namespace dnacomp;
+
+namespace {
+
+struct Result {
+  std::string algo;
+  std::size_t block_bytes = 0;  // 0 = monolithic
+  double compress_ms = 0.0;
+  double decompress_ms = 0.0;
+  std::size_t compressed_bytes = 0;
+  double speedup = 1.0;      // vs monolithic, same codec
+  double ratio_loss = 0.0;   // (blocked - mono) / mono compressed size
+};
+
+double best_of(int reps, const std::function<double()>& run_ms) {
+  double best = 1e300;
+  for (int i = 0; i < reps; ++i) best = std::min(best, run_ms());
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const std::size_t pool_threads = std::max<std::size_t>(4, hw);
+  constexpr std::size_t kInputBytes = 4 * 1024 * 1024;
+  const std::vector<std::size_t> block_sizes = {64 * 1024, 256 * 1024,
+                                                1024 * 1024};
+  const std::vector<std::string> algos = {"dnax", "gzip", "bio2"};
+
+  std::printf("== DCB blocked vs monolithic compression ==\n");
+  std::printf("input: %zu MiB synthetic DNA, pool: %zu threads (%u hardware)\n\n",
+              kInputBytes >> 20, pool_threads, hw);
+
+  sequence::GeneratorParams gp;
+  gp.length = kInputBytes;
+  gp.seed = 4242;
+  const std::string input = sequence::generate_dna(gp);
+  const std::span<const std::uint8_t> raw{
+      reinterpret_cast<const std::uint8_t*>(input.data()), input.size()};
+
+  util::ThreadPool pool(pool_threads);
+  std::vector<Result> results;
+
+  for (const auto& algo : algos) {
+    const auto codec = compressors::make_compressor(algo);
+
+    Result mono;
+    mono.algo = algo;
+    std::vector<std::uint8_t> mono_stream;
+    mono.compress_ms = best_of(2, [&] {
+      util::Stopwatch sw;
+      mono_stream = codec->compress(raw);
+      return sw.elapsed_ms();
+    });
+    mono.compressed_bytes = mono_stream.size();
+    mono.decompress_ms = best_of(2, [&] {
+      util::Stopwatch sw;
+      const auto out = codec->decompress(mono_stream);
+      if (out.size() != raw.size()) std::abort();
+      return sw.elapsed_ms();
+    });
+    results.push_back(mono);
+
+    for (const std::size_t bs : block_sizes) {
+      Result r;
+      r.algo = algo;
+      r.block_bytes = bs;
+      std::vector<std::uint8_t> stream;
+      r.compress_ms = best_of(2, [&] {
+        util::Stopwatch sw;
+        stream = compressors::compress_blocked(*codec, raw, pool, bs);
+        return sw.elapsed_ms();
+      });
+      r.compressed_bytes = stream.size();
+      r.decompress_ms = best_of(2, [&] {
+        util::Stopwatch sw;
+        const auto out = compressors::decompress_blocked(*codec, stream, pool);
+        if (out.size() != raw.size() ||
+            !std::equal(out.begin(), out.end(), raw.begin())) {
+          std::fprintf(stderr, "FATAL: blocked round trip failed (%s)\n",
+                       algo.c_str());
+          std::abort();
+        }
+        return sw.elapsed_ms();
+      });
+      r.speedup = mono.compress_ms / r.compress_ms;
+      r.ratio_loss =
+          (static_cast<double>(r.compressed_bytes) -
+           static_cast<double>(mono.compressed_bytes)) /
+          static_cast<double>(mono.compressed_bytes);
+      results.push_back(r);
+    }
+  }
+
+  util::TablePrinter tp({"algo", "blocks", "comp ms", "dec ms", "size",
+                         "speedup", "size loss"});
+  for (const auto& r : results) {
+    tp.add_row({r.algo,
+                r.block_bytes == 0
+                    ? std::string("mono")
+                    : util::TablePrinter::bytes(r.block_bytes),
+                util::TablePrinter::num(r.compress_ms, 1),
+                util::TablePrinter::num(r.decompress_ms, 1),
+                util::TablePrinter::bytes(r.compressed_bytes),
+                r.block_bytes == 0 ? std::string("-")
+                                   : util::TablePrinter::num(r.speedup, 2),
+                r.block_bytes == 0 ? std::string("-")
+                                   : util::TablePrinter::pct(r.ratio_loss, 2)});
+  }
+  tp.print(std::cout);
+
+  // ---- machine-readable record --------------------------------------
+  std::ofstream json("BENCH_container.json", std::ios::binary);
+  json << "{\n  \"input_bytes\": " << kInputBytes
+       << ",\n  \"hardware_threads\": " << hw
+       << ",\n  \"pool_threads\": " << pool_threads << ",\n  \"runs\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    json << "    {\"algo\": \"" << r.algo << "\", \"block_bytes\": "
+         << r.block_bytes << ", \"compress_ms\": " << r.compress_ms
+         << ", \"decompress_ms\": " << r.decompress_ms
+         << ", \"compressed_bytes\": " << r.compressed_bytes
+         << ", \"speedup\": " << r.speedup
+         << ", \"ratio_loss\": " << r.ratio_loss << "}"
+         << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  json.close();
+  std::printf("\nwrote BENCH_container.json\n");
+
+  // ---- acceptance gate ----------------------------------------------
+  bool ok = true;
+  for (const auto& r : results) {
+    if (r.block_bytes != compressors::kDcbDefaultBlockBytes) continue;
+    if (r.algo != "dnax" && r.algo != "gzip") continue;
+    std::printf("[%s @ 256 KiB] speedup %.2fx, size loss %.2f%%: ",
+                r.algo.c_str(), r.speedup, 100.0 * r.ratio_loss);
+    if (r.ratio_loss > 0.05) {
+      std::printf("FAIL (size regression > 5%%)\n");
+      ok = false;
+    } else if (hw < 4) {
+      std::printf("size OK; speedup gate SKIPPED (<4 hardware threads)\n");
+    } else if (r.speedup < 2.0) {
+      std::printf("FAIL (speedup < 2x on %u threads)\n", hw);
+      ok = false;
+    } else {
+      std::printf("PASS\n");
+    }
+  }
+  return ok ? 0 : 1;
+}

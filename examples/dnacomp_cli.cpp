@@ -2,7 +2,7 @@
 //
 //   dnacomp_cli list
 //   dnacomp_cli cleanse <in.fa> <out.txt>
-//   dnacomp_cli compress -a <algo> <in> <out.dcz>
+//   dnacomp_cli compress -a <algo> [--blocked] [--block-size <bytes>] <in> <out.dcz>
 //   dnacomp_cli compress --reference <ref.fa> <in> <out.dcz>   (vertical mode)
 //   dnacomp_cli decompress [--reference <ref.fa>] <in.dcz> <out>
 //   dnacomp_cli info <in.dcz>
@@ -19,6 +19,7 @@
 #include <string>
 
 #include "compressors/compressor.h"
+#include "compressors/container.h"
 #include "compressors/vertical/refcompress.h"
 #include "core/framework.h"
 #include "sequence/cleanser.h"
@@ -34,7 +35,8 @@ int usage() {
       "usage:\n"
       "  dnacomp_cli list\n"
       "  dnacomp_cli cleanse <in> <out>\n"
-      "  dnacomp_cli compress -a <algo> <in> <out>\n"
+      "  dnacomp_cli compress -a <algo> [--blocked] [--block-size <bytes>] "
+      "<in> <out>\n"
       "  dnacomp_cli compress --reference <ref> <in> <out>\n"
       "  dnacomp_cli decompress [--reference <ref>] <in> <out>\n"
       "  dnacomp_cli info <in>\n"
@@ -97,11 +99,16 @@ int cmd_cleanse(const std::string& in, const std::string& out) {
 }
 
 int cmd_compress(const std::string& algo, const std::string& reference,
-                 const std::string& in, const std::string& out) {
+                 bool blocked, std::size_t block_bytes, const std::string& in,
+                 const std::string& out) {
   const auto seq = cleanse_file(in);
   util::Stopwatch sw;
   std::vector<std::uint8_t> packed;
   if (!reference.empty()) {
+    if (blocked) {
+      std::fprintf(stderr, "--blocked is not supported in vertical mode\n");
+      return 2;
+    }
     const compressors::RefCompressor codec(cleanse_file(reference));
     packed = codec.compress(seq);
   } else {
@@ -111,7 +118,19 @@ int cmd_compress(const std::string& algo, const std::string& reference,
                    algo.c_str());
       return 2;
     }
-    packed = codec->compress_str(seq);
+    if (blocked) {
+      if (block_bytes == 0) {
+        std::fprintf(stderr, "--block-size must be positive\n");
+        return 2;
+      }
+      util::ThreadPool pool;
+      packed = compressors::compress_blocked(
+          *codec,
+          {reinterpret_cast<const std::uint8_t*>(seq.data()), seq.size()},
+          pool, block_bytes);
+    } else {
+      packed = codec->compress_str(seq);
+    }
   }
   const double ms = sw.elapsed_ms();
   write_file(out, packed);
@@ -135,7 +154,19 @@ int cmd_decompress(const std::string& reference, const std::string& in,
   }
   util::Stopwatch sw;
   std::string text;
-  if (data[2] == 6) {  // vertical stream
+  if (compressors::is_dcb_stream(data)) {
+    const auto header = compressors::read_dcb_header(data);
+    const auto name = compressors::algorithm_name(header.algorithm);
+    const auto codec = compressors::make_compressor(name);
+    if (codec == nullptr) {
+      std::fprintf(stderr, "DCB stream uses unknown algorithm id %u\n",
+                   static_cast<unsigned>(header.algorithm));
+      return 2;
+    }
+    util::ThreadPool pool;
+    const auto bytes = compressors::decompress_blocked(*codec, data, pool);
+    text.assign(reinterpret_cast<const char*>(bytes.data()), bytes.size());
+  } else if (data[2] == 6) {  // vertical stream
     if (reference.empty()) {
       std::fprintf(stderr,
                    "vertical stream: pass --reference <the same reference "
@@ -168,6 +199,23 @@ int cmd_info(const std::string& in) {
   if (data.size() < 4 || data[0] != 'D' || data[1] != 'C') {
     std::fprintf(stderr, "%s is not a dnacomp stream\n", in.c_str());
     return 2;
+  }
+  if (compressors::is_dcb_stream(data)) {
+    const auto header = compressors::read_dcb_header(data);
+    std::printf("DCB blocked container\n");
+    std::printf("inner algorithm: %s\n",
+                std::string(compressors::algorithm_name(header.algorithm))
+                    .c_str());
+    std::printf("original: %llu bases in %zu blocks of %llu\n",
+                static_cast<unsigned long long>(header.original_size),
+                header.blocks.size(),
+                static_cast<unsigned long long>(header.block_size));
+    std::printf("stream: %zu bytes (%.3f bpc)\n", data.size(),
+                header.original_size == 0
+                    ? 0.0
+                    : 8.0 * static_cast<double>(data.size()) /
+                          static_cast<double>(header.original_size));
+    return 0;
   }
   std::size_t pos = 3;
   const auto original = compressors::get_varint(data, &pos);
@@ -221,6 +269,8 @@ int main(int argc, char** argv) {
     const std::string cmd = argv[1];
     std::string algo = "dnax", reference;
     double bandwidth = 8.0;
+    bool blocked = false;
+    std::size_t block_bytes = compressors::kDcbDefaultBlockBytes;
     std::vector<std::string> positional;
     for (int i = 2; i < argc; ++i) {
       const std::string arg = argv[i];
@@ -230,6 +280,10 @@ int main(int argc, char** argv) {
         reference = argv[++i];
       } else if (arg == "--bandwidth" && i + 1 < argc) {
         bandwidth = std::stod(argv[++i]);
+      } else if (arg == "--blocked") {
+        blocked = true;
+      } else if (arg == "--block-size" && i + 1 < argc) {
+        block_bytes = static_cast<std::size_t>(std::stoull(argv[++i]));
       } else {
         positional.push_back(arg);
       }
@@ -239,7 +293,8 @@ int main(int argc, char** argv) {
       return cmd_cleanse(positional[0], positional[1]);
     }
     if (cmd == "compress" && positional.size() == 2) {
-      return cmd_compress(algo, reference, positional[0], positional[1]);
+      return cmd_compress(algo, reference, blocked, block_bytes,
+                          positional[0], positional[1]);
     }
     if (cmd == "decompress" && positional.size() == 2) {
       return cmd_decompress(reference, positional[0], positional[1]);

@@ -61,6 +61,15 @@ class TransferModel {
   // Client -> storage account. bytes is the *compressed* payload.
   double upload_time_ms(std::size_t bytes, const VmSpec& client) const;
 
+  // Client -> storage account for a DCB blocked stream of n_blocks container
+  // blocks. Each container block is serialized and shipped as its own Put
+  // Block request, so serialization of block i+1 overlaps the wire transfer
+  // of block i: the slower stage dominates and only the first block pays
+  // both stages back to back. With n_blocks <= 1 this degrades to the
+  // monolithic upload_time_ms.
+  double upload_time_blocked_ms(std::size_t bytes, std::size_t n_blocks,
+                                const VmSpec& client) const;
+
   // Storage account -> cloud VM.
   double download_time_ms(std::size_t bytes) const;
 

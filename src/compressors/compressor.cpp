@@ -67,6 +67,11 @@ std::uint64_t get_varint(std::span<const std::uint8_t> data,
       throw std::runtime_error("varint: truncated or overlong");
     }
     const std::uint8_t b = data[(*pos)++];
+    // The 10th byte may only carry the 64th bit; anything above it would be
+    // silently truncated by the shift, so reject it as overflow.
+    if (shift == 63 && (b & 0x7E) != 0) {
+      throw std::runtime_error("varint: value overflows 64 bits");
+    }
     v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
     if ((b & 0x80) == 0) return v;
     shift += 7;

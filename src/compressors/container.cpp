@@ -1,0 +1,181 @@
+#include "compressors/container.h"
+
+#include <stdexcept>
+#include <string>
+
+#include "util/check.h"
+#include "util/crc32.h"
+
+namespace dnacomp::compressors {
+namespace {
+
+constexpr std::uint8_t kMagic[4] = {'D', 'C', 'B', '1'};
+
+void put_u32le(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+std::uint32_t get_u32le(std::span<const std::uint8_t> data, std::size_t* pos) {
+  if (data.size() - *pos < 4) {
+    throw std::runtime_error("DCB: truncated stream");
+  }
+  const std::uint32_t v = static_cast<std::uint32_t>(data[*pos]) |
+                          (static_cast<std::uint32_t>(data[*pos + 1]) << 8) |
+                          (static_cast<std::uint32_t>(data[*pos + 2]) << 16) |
+                          (static_cast<std::uint32_t>(data[*pos + 3]) << 24);
+  *pos += 4;
+  return v;
+}
+
+std::uint64_t blocks_for(std::uint64_t size, std::uint64_t block_size) {
+  return size == 0 ? 0 : (size + block_size - 1) / block_size;
+}
+
+}  // namespace
+
+bool is_dcb_stream(std::span<const std::uint8_t> data) noexcept {
+  return data.size() >= 4 && data[0] == kMagic[0] && data[1] == kMagic[1] &&
+         data[2] == kMagic[2] && data[3] == kMagic[3];
+}
+
+DcbHeader read_dcb_header(std::span<const std::uint8_t> data) {
+  if (!is_dcb_stream(data)) {
+    throw std::runtime_error("DCB: bad magic");
+  }
+  if (data.size() < 5) {
+    throw std::runtime_error("DCB: truncated stream");
+  }
+  DcbHeader h;
+  h.algorithm = static_cast<AlgorithmId>(data[4]);
+  std::size_t pos = 5;
+  h.block_size = get_varint(data, &pos);
+  const std::uint64_t block_count = get_varint(data, &pos);
+  h.original_size = get_varint(data, &pos);
+  if (h.block_size == 0) {
+    throw std::runtime_error("DCB: zero block size");
+  }
+  if (block_count != blocks_for(h.original_size, h.block_size)) {
+    throw std::runtime_error("DCB: block count does not match geometry");
+  }
+  // Each index entry is at least 5 bytes (1-byte varint + 4-byte CRC), so a
+  // count the stream cannot possibly hold is rejected before any allocation.
+  if (block_count > (data.size() - pos) / 5) {
+    throw std::runtime_error("DCB: truncated block index");
+  }
+  h.blocks.reserve(block_count);
+  for (std::uint64_t i = 0; i < block_count; ++i) {
+    DcbBlockEntry e;
+    e.compressed_len = get_varint(data, &pos);
+    e.plain_crc32 = get_u32le(data, &pos);
+    h.blocks.push_back(e);
+  }
+  const std::uint32_t computed = util::crc32(data.subspan(0, pos));
+  const std::uint32_t stored = get_u32le(data, &pos);
+  if (computed != stored) {
+    throw std::runtime_error("DCB: header crc mismatch");
+  }
+  h.payload_offset = pos;
+  return h;
+}
+
+std::vector<std::uint8_t> compress_blocked(const Compressor& codec,
+                                           std::span<const std::uint8_t> input,
+                                           util::ThreadPool& pool,
+                                           std::size_t block_bytes,
+                                           util::TrackingResource* mem) {
+  DC_CHECK_MSG(block_bytes > 0, "DCB block size must be positive");
+  const std::uint64_t n_blocks = blocks_for(input.size(), block_bytes);
+
+  std::vector<std::vector<std::uint8_t>> payloads(n_blocks);
+  std::vector<std::uint32_t> crcs(n_blocks);
+  pool.parallel_for(n_blocks, [&](std::size_t i) {
+    const std::size_t off = i * block_bytes;
+    const std::size_t len = std::min(block_bytes, input.size() - off);
+    const auto chunk = input.subspan(off, len);
+    crcs[i] = util::crc32(chunk);
+    payloads[i] = codec.compress(chunk, mem);
+  });
+
+  std::vector<std::uint8_t> out;
+  out.insert(out.end(), std::begin(kMagic), std::end(kMagic));
+  out.push_back(static_cast<std::uint8_t>(codec.id()));
+  put_varint(out, block_bytes);
+  put_varint(out, n_blocks);
+  put_varint(out, input.size());
+  for (std::uint64_t i = 0; i < n_blocks; ++i) {
+    put_varint(out, payloads[i].size());
+    put_u32le(out, crcs[i]);
+  }
+  put_u32le(out, util::crc32(out));
+  for (const auto& p : payloads) {
+    out.insert(out.end(), p.begin(), p.end());
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> decompress_blocked(const Compressor& codec,
+                                             std::span<const std::uint8_t> data,
+                                             util::ThreadPool& pool,
+                                             util::TrackingResource* mem) {
+  const DcbHeader h = read_dcb_header(data);
+  if (h.algorithm != codec.id()) {
+    throw std::runtime_error(
+        std::string("DCB: algorithm mismatch, stream is ") +
+        std::string(algorithm_name(h.algorithm)) + ", decoder is " +
+        std::string(algorithm_name(codec.id())));
+  }
+
+  // Per-block payload offsets; reject truncation before touching payloads.
+  std::vector<std::size_t> offsets(h.blocks.size());
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < h.blocks.size(); ++i) {
+    offsets[i] = total;
+    if (h.blocks[i].compressed_len > data.size() - h.payload_offset - total) {
+      throw std::runtime_error("DCB: truncated payload");
+    }
+    total += h.blocks[i].compressed_len;
+  }
+
+  std::vector<std::uint8_t> out(h.original_size);
+  pool.parallel_for(h.blocks.size(), [&](std::size_t i) {
+    const auto payload = data.subspan(h.payload_offset + offsets[i],
+                                      h.blocks[i].compressed_len);
+    const auto plain = codec.decompress(payload, mem);
+    const std::size_t off = i * h.block_size;
+    const std::size_t expected =
+        std::min<std::size_t>(h.block_size, h.original_size - off);
+    if (plain.size() != expected) {
+      throw std::runtime_error("DCB: block " + std::to_string(i) +
+                               " decoded to wrong size");
+    }
+    if (util::crc32(plain) != h.blocks[i].plain_crc32) {
+      throw std::runtime_error("DCB: block " + std::to_string(i) +
+                               " crc mismatch");
+    }
+    std::copy(plain.begin(), plain.end(), out.begin() + off);
+  });
+  return out;
+}
+
+BlockedCompressor::BlockedCompressor(std::unique_ptr<Compressor> inner,
+                                     std::size_t block_bytes,
+                                     std::size_t threads)
+    : inner_(std::move(inner)), block_bytes_(block_bytes), pool_(threads) {
+  DC_CHECK_MSG(inner_ != nullptr, "BlockedCompressor needs an inner codec");
+  DC_CHECK_MSG(block_bytes_ > 0, "DCB block size must be positive");
+}
+
+std::vector<std::uint8_t> BlockedCompressor::compress(
+    std::span<const std::uint8_t> input, util::TrackingResource* mem) const {
+  return compress_blocked(*inner_, input, pool_, block_bytes_, mem);
+}
+
+std::vector<std::uint8_t> BlockedCompressor::decompress(
+    std::span<const std::uint8_t> input, util::TrackingResource* mem) const {
+  return decompress_blocked(*inner_, input, pool_, mem);
+}
+
+}  // namespace dnacomp::compressors

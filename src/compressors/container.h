@@ -1,0 +1,123 @@
+// DCB (DNA-Compressed-Blocks) container: a parallel, integrity-checked
+// framing around any single Compressor.
+//
+// The input is split into fixed-size plaintext blocks (default 256 KiB),
+// each block is compressed independently — so blocks compress and decompress
+// in parallel on a util::ThreadPool — and the stream carries a per-block
+// CRC-32 of the *plaintext*, so corruption anywhere (header, index or
+// payload) is detected at decode time instead of surfacing as silently wrong
+// bases.
+//
+// Stream layout (all varints LEB128, all fixed-width fields little-endian):
+//
+//   'D' 'C' 'B' '1'                        magic, 4 bytes
+//   algorithm id                           1 byte (matches AlgorithmId)
+//   varint block_size                      plaintext bytes per block, >= 1
+//   varint block_count                     == ceil(original_size/block_size)
+//   varint original_size                   total plaintext bytes
+//   block_count x {                        the block index
+//     varint compressed_len
+//     crc32(plaintext block)               4 bytes LE
+//   }
+//   crc32(everything above)                4 bytes LE — the header CRC
+//   block_count x payload                  each an ordinary single-codec
+//                                          stream ('D','C',id,... framing)
+//
+// The header CRC makes the geometry fields and the index tamper-evident;
+// the per-block CRCs cover the payloads (see DESIGN.md for why they hash
+// plaintext rather than ciphertext). Trailing bytes after the last payload
+// are ignored, matching the single-codec decoders.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "compressors/compressor.h"
+#include "util/thread_pool.h"
+
+namespace dnacomp::compressors {
+
+inline constexpr std::size_t kDcbDefaultBlockBytes = 256 * 1024;
+
+// Knob threaded through the measurement oracle and the experiment grid so
+// blocked and monolithic runs can be compared under the same harness.
+struct BlockingPolicy {
+  bool enabled = false;
+  std::size_t block_bytes = kDcbDefaultBlockBytes;
+  std::size_t threads = 0;  // 0 = hardware concurrency
+};
+
+struct DcbBlockEntry {
+  std::uint64_t compressed_len = 0;
+  std::uint32_t plain_crc32 = 0;
+};
+
+struct DcbHeader {
+  AlgorithmId algorithm;
+  std::uint64_t block_size = 0;
+  std::uint64_t original_size = 0;
+  std::vector<DcbBlockEntry> blocks;
+  std::size_t payload_offset = 0;  // first byte of the first payload
+};
+
+// True when data begins with the DCB magic (cheap sniff, no validation).
+bool is_dcb_stream(std::span<const std::uint8_t> data) noexcept;
+
+// Parses and fully validates the header: magic, geometry consistency
+// (block_count == ceil(original_size/block_size)), index bounds and the
+// header CRC. Throws std::runtime_error on any mismatch.
+DcbHeader read_dcb_header(std::span<const std::uint8_t> data);
+
+// Splits input into block_bytes-sized blocks and compresses them with
+// `codec` in parallel on `pool`. Deterministic: the output depends only on
+// (codec, input, block_bytes), never on the thread schedule. `mem` meters
+// the aggregate working set across concurrent blocks (TrackingResource is
+// atomic, so sharing it is safe).
+std::vector<std::uint8_t> compress_blocked(
+    const Compressor& codec, std::span<const std::uint8_t> input,
+    util::ThreadPool& pool, std::size_t block_bytes = kDcbDefaultBlockBytes,
+    util::TrackingResource* mem = nullptr);
+
+// Inverse of compress_blocked. Throws std::runtime_error if the stream is
+// not a DCB stream for codec.id(), is truncated, or any block fails its
+// CRC after decompression.
+std::vector<std::uint8_t> decompress_blocked(
+    const Compressor& codec, std::span<const std::uint8_t> data,
+    util::ThreadPool& pool, util::TrackingResource* mem = nullptr);
+
+// Compressor adapter over compress_blocked/decompress_blocked, so a blocked
+// codec drops into every slot that takes a Compressor (oracle, framework,
+// benches). Owns the inner codec and its thread pool.
+class BlockedCompressor final : public Compressor {
+ public:
+  explicit BlockedCompressor(std::unique_ptr<Compressor> inner,
+                             std::size_t block_bytes = kDcbDefaultBlockBytes,
+                             std::size_t threads = 0);
+
+  AlgorithmId id() const noexcept override { return inner_->id(); }
+  std::string_view family() const noexcept override {
+    return inner_->family();
+  }
+
+  std::vector<std::uint8_t> compress(
+      std::span<const std::uint8_t> input,
+      util::TrackingResource* mem = nullptr) const override;
+
+  std::vector<std::uint8_t> decompress(
+      std::span<const std::uint8_t> input,
+      util::TrackingResource* mem = nullptr) const override;
+
+  const Compressor& inner() const noexcept { return *inner_; }
+  std::size_t block_bytes() const noexcept { return block_bytes_; }
+
+ private:
+  std::unique_ptr<Compressor> inner_;
+  std::size_t block_bytes_;
+  // compress() is const but running the pool is not; the pool is an
+  // implementation detail invisible to callers.
+  mutable util::ThreadPool pool_;
+};
+
+}  // namespace dnacomp::compressors

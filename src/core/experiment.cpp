@@ -99,8 +99,21 @@ std::vector<ExperimentRow> run_experiments(
         // Decompression happens at the fixed cloud VM.
         row.decompress_ms = model.scale_compute_ms(
             m.decompress_ms, working_set, cloud::cloud_vm());
-        row.upload_ms = model.upload_time_ms(m.compressed_bytes, vm) *
-                        link_noise.time_factor;
+        if (config.blocking.enabled) {
+          // One container block per block_bytes of *plaintext*; the upload
+          // ships the compressed payload but pays per-block request costs.
+          const std::size_t n_blocks =
+              m.original_bytes == 0
+                  ? 0
+                  : (m.original_bytes + config.blocking.block_bytes - 1) /
+                        config.blocking.block_bytes;
+          row.upload_ms =
+              model.upload_time_blocked_ms(m.compressed_bytes, n_blocks, vm) *
+              link_noise.time_factor;
+        } else {
+          row.upload_ms = model.upload_time_ms(m.compressed_bytes, vm) *
+                          link_noise.time_factor;
+        }
         row.download_ms = model.download_time_ms(m.compressed_bytes);
         row.ram_used_bytes =
             (static_cast<double>(m.peak_ram_bytes) + noise.ram_overhead_bytes) *

@@ -59,6 +59,11 @@ struct ExperimentConfig {
   cloud::TransferModelParams transfer;
   NoiseParams noise;
   std::size_t threads = 0;  // 0 = hardware concurrency
+  // Blocked (DCB container) runs: when enabled, upload time uses per-block
+  // accounting (pipelined serialization, one Put Block request per container
+  // block). Pair it with the same policy on the RealCostOracle so the base
+  // compression measurements are blocked too.
+  compressors::BlockingPolicy blocking;
 };
 
 // Runs the whole grid. Rows are ordered file-major, then context (in

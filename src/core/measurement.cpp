@@ -1,5 +1,6 @@
 #include "core/measurement.h"
 
+#include <algorithm>
 #include <cmath>
 #include <fstream>
 #include <sstream>
@@ -14,6 +15,9 @@ namespace dnacomp::core {
 
 RealCostOracle::RealCostOracle(RealCostOracleOptions opts)
     : opts_(std::move(opts)) {
+  if (opts_.blocking.enabled) {
+    block_pool_ = std::make_unique<util::ThreadPool>(opts_.blocking.threads);
+  }
   if (!opts_.cache_path.empty()) load_cache();
 }
 
@@ -32,6 +36,9 @@ std::string RealCostOracle::key_of(const sequence::CorpusFile& file,
   std::ostringstream os;
   os << opts_.cache_tag << '|' << file.name << '|' << file.data.size() << '|'
      << h << '|' << algo;
+  if (opts_.blocking.enabled) {
+    os << "|dcb" << opts_.blocking.block_bytes;
+  }
   return os.str();
 }
 
@@ -95,16 +102,32 @@ MeasuredCosts RealCostOracle::measure(const sequence::CorpusFile& file,
   costs.original_bytes = file.data.size();
   double best_comp = 1e300, best_dec = 1e300;
   std::vector<std::uint8_t> compressed;
+  const std::span<const std::uint8_t> raw{
+      reinterpret_cast<const std::uint8_t*>(file.data.data()),
+      file.data.size()};
   for (std::size_t rep = 0; rep < reps; ++rep) {
     util::TrackingResource mem;
     util::Stopwatch sw;
-    compressed = compressor->compress_str(file.data, &mem);
+    if (opts_.blocking.enabled) {
+      compressed = compressors::compress_blocked(
+          *compressor, raw, *block_pool_, opts_.blocking.block_bytes, &mem);
+    } else {
+      compressed = compressor->compress(raw, &mem);
+    }
     best_comp = std::min(best_comp, sw.elapsed_ms());
     costs.peak_ram_bytes = mem.peak_bytes();
     sw.reset();
-    const auto restored = compressor->decompress_str(compressed, nullptr);
+    std::vector<std::uint8_t> restored;
+    if (opts_.blocking.enabled) {
+      restored = compressors::decompress_blocked(*compressor, compressed,
+                                                 *block_pool_, nullptr);
+    } else {
+      restored = compressor->decompress(compressed, nullptr);
+    }
     best_dec = std::min(best_dec, sw.elapsed_ms());
-    if (opts_.verify_round_trip && restored != file.data) {
+    if (opts_.verify_round_trip &&
+        (restored.size() != raw.size() ||
+         !std::equal(restored.begin(), restored.end(), raw.begin()))) {
       throw std::runtime_error("round-trip failure: " + algo + " on " +
                                file.name);
     }

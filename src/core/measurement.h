@@ -14,7 +14,9 @@
 #include <vector>
 
 #include "compressors/compressor.h"
+#include "compressors/container.h"
 #include "sequence/corpus.h"
+#include "util/thread_pool.h"
 
 namespace dnacomp::core {
 
@@ -45,6 +47,11 @@ struct RealCostOracleOptions {
   std::string cache_path;
   std::string cache_tag = "v2";
   bool verify_round_trip = true;
+  // When enabled, every measurement runs through the DCB container
+  // (compress_blocked/decompress_blocked on a shared pool) instead of the
+  // monolithic codec, so the grid compares blocked vs. monolithic under the
+  // same harness. Cache entries are keyed separately per block size.
+  compressors::BlockingPolicy blocking;
 };
 
 // Runs the real compressors. Thread-safe (each call builds its own
@@ -67,6 +74,7 @@ class RealCostOracle final : public CostOracle {
   void load_cache();
 
   RealCostOracleOptions opts_;
+  std::unique_ptr<util::ThreadPool> block_pool_;  // non-null iff blocking
   std::map<std::string, MeasuredCosts> cache_;
   std::size_t hits_ = 0;
   std::size_t misses_ = 0;

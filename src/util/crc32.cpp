@@ -1,0 +1,53 @@
+#include "util/crc32.h"
+
+#include <array>
+
+namespace dnacomp::util {
+namespace {
+
+constexpr std::uint32_t kPoly = 0xEDB88320u;
+
+// Four tables: table[0] is the classic byte-at-a-time table; table[k]
+// advances a byte by k additional zero bytes, enabling 4-byte strides.
+struct Tables {
+  std::array<std::array<std::uint32_t, 256>, 4> t{};
+};
+
+constexpr Tables make_tables() {
+  Tables tb{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c >> 1) ^ ((c & 1u) ? kPoly : 0u);
+    tb.t[0][i] = c;
+  }
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    for (std::size_t k = 1; k < 4; ++k) {
+      tb.t[k][i] = (tb.t[k - 1][i] >> 8) ^ tb.t[0][tb.t[k - 1][i] & 0xFFu];
+    }
+  }
+  return tb;
+}
+
+constexpr Tables kTables = make_tables();
+
+}  // namespace
+
+std::uint32_t crc32_update(std::uint32_t crc,
+                           std::span<const std::uint8_t> data) noexcept {
+  std::uint32_t c = ~crc;
+  std::size_t i = 0;
+  for (; i + 4 <= data.size(); i += 4) {
+    c ^= static_cast<std::uint32_t>(data[i]) |
+         (static_cast<std::uint32_t>(data[i + 1]) << 8) |
+         (static_cast<std::uint32_t>(data[i + 2]) << 16) |
+         (static_cast<std::uint32_t>(data[i + 3]) << 24);
+    c = kTables.t[3][c & 0xFFu] ^ kTables.t[2][(c >> 8) & 0xFFu] ^
+        kTables.t[1][(c >> 16) & 0xFFu] ^ kTables.t[0][(c >> 24) & 0xFFu];
+  }
+  for (; i < data.size(); ++i) {
+    c = (c >> 8) ^ kTables.t[0][(c ^ data[i]) & 0xFFu];
+  }
+  return ~c;
+}
+
+}  // namespace dnacomp::util

@@ -59,16 +59,19 @@ void ThreadPool::parallel_for(std::size_t n,
   // Work-stealing-free static chunking is enough here: tasks (compression
   // runs) are coarse, and a shared atomic index balances uneven sizes.
   std::atomic<std::size_t> next{0};
+  std::atomic<bool> cancelled{false};
   std::exception_ptr first_error;
   std::mutex err_mu;
 
   auto body = [&] {
     for (;;) {
+      if (cancelled.load(std::memory_order_acquire)) return;
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) return;
       try {
         fn(i);
       } catch (...) {
+        cancelled.store(true, std::memory_order_release);
         std::lock_guard lk(err_mu);
         if (!first_error) first_error = std::current_exception();
       }

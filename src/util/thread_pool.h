@@ -29,7 +29,9 @@ class ThreadPool {
   std::future<void> submit(std::function<void()> task);
 
   // Run fn(i) for i in [0, n) across the pool and wait for all of them.
-  // Exceptions from tasks are rethrown (first one wins).
+  // Exceptions from tasks are rethrown (first one wins) and cancel the
+  // remaining not-yet-started indices, so a poisoned grid fails fast
+  // instead of grinding through the rest of the work.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
  private:

@@ -204,6 +204,66 @@ TEST(Registry, VarintRoundTrip) {
   EXPECT_THROW(get_varint(buf, &pos), std::runtime_error);  // exhausted
 }
 
+TEST(Registry, VarintEncodedLengthsAtBoundaries) {
+  // Each 7-bit group adds a byte; UINT64_MAX needs the full 10 bytes.
+  const std::vector<std::pair<std::uint64_t, std::size_t>> expect = {
+      {0, 1},     {1, 1},          {127, 1},       {128, 2},
+      {16383, 2}, {16384, 3},      {~0ull >> 1, 9}, {~0ull, 10}};
+  for (const auto& [v, len] : expect) {
+    std::vector<std::uint8_t> buf;
+    put_varint(buf, v);
+    EXPECT_EQ(buf.size(), len) << "value " << v;
+    std::size_t pos = 0;
+    EXPECT_EQ(get_varint(buf, &pos), v);
+    EXPECT_EQ(pos, len);
+  }
+}
+
+TEST(Registry, VarintTruncatedBuffersThrow) {
+  // Every strict prefix of a multi-byte encoding must throw, and `pos`
+  // must never run past the buffer.
+  for (const std::uint64_t v : {std::uint64_t{128}, std::uint64_t{1} << 20,
+                                ~std::uint64_t{0}}) {
+    std::vector<std::uint8_t> buf;
+    put_varint(buf, v);
+    for (std::size_t cut = 0; cut < buf.size(); ++cut) {
+      const std::span<const std::uint8_t> prefix{buf.data(), cut};
+      std::size_t pos = 0;
+      EXPECT_THROW(get_varint(prefix, &pos), std::runtime_error)
+          << "value " << v << " cut to " << cut;
+      EXPECT_LE(pos, cut);
+    }
+  }
+}
+
+TEST(Registry, VarintOverlongEncodingsRejected) {
+  // 10 continuation bytes: the value would need bit 70 — always rejected.
+  std::vector<std::uint8_t> eleven(10, 0x80);
+  eleven.push_back(0x01);
+  std::size_t pos = 0;
+  EXPECT_THROW(get_varint(eleven, &pos), std::runtime_error);
+
+  // 10-byte encoding whose final byte carries bits beyond the 64th: the
+  // shift would silently truncate them, so the decoder must reject it.
+  std::vector<std::uint8_t> overflow(9, 0x80);
+  overflow.push_back(0x02);
+  pos = 0;
+  EXPECT_THROW(get_varint(overflow, &pos), std::runtime_error);
+
+  // The canonical 10-byte encoding of UINT64_MAX stays valid.
+  std::vector<std::uint8_t> max10(9, 0xFF);
+  max10.push_back(0x01);
+  pos = 0;
+  EXPECT_EQ(get_varint(max10, &pos), ~std::uint64_t{0});
+  EXPECT_EQ(pos, 10u);
+
+  // Non-canonical zero padding ({0x80, 0x00} for 0) decodes — accepted by
+  // design, the format never relies on canonical minimality.
+  const std::vector<std::uint8_t> padded_zero = {0x80, 0x00};
+  pos = 0;
+  EXPECT_EQ(get_varint(padded_zero, &pos), 0u);
+}
+
 // -------------------------------------------- paper-shape characteristics
 
 TEST(PaperShape, RatioOrderingOnRepresentativeFile) {

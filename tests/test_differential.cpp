@@ -1,0 +1,174 @@
+// Differential round-trip harness: every registered codec, monolithic and
+// DCB-blocked, over a battery of adversarial input classes — empty input,
+// single bases, homopolymer runs, high-entropy random ACGT, long exact and
+// reverse-complement repeats, and sizes straddling the container block
+// boundary. Each case asserts byte-identical recovery and byte-identical
+// compressed output across two runs (determinism: neither the codec state
+// nor the parallel block schedule may leak into the stream).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "compressors/compressor.h"
+#include "compressors/container.h"
+#include "sequence/alphabet.h"
+#include "sequence/generator.h"
+#include "util/random.h"
+#include "util/thread_pool.h"
+
+namespace dnacomp::compressors {
+namespace {
+
+// Small enough that multi-block cases stay fast for the slow codecs (CTW,
+// GenCompress), while exercising exactly the same block-boundary arithmetic
+// as the 256 KiB production default.
+constexpr std::size_t kBlockBytes = 8192;
+
+std::string random_acgt(std::size_t length, std::uint64_t seed) {
+  static constexpr char kBases[] = {'A', 'C', 'G', 'T'};
+  util::Xoshiro256 rng(seed);
+  std::string s;
+  s.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    s.push_back(kBases[rng.next_below(4)]);
+  }
+  return s;
+}
+
+std::string structured_dna(std::size_t length, std::uint64_t seed) {
+  sequence::GeneratorParams gp;
+  gp.length = length;
+  gp.seed = seed;
+  return sequence::generate_dna(gp);
+}
+
+std::string reverse_complement_str(const std::string& s) {
+  std::string rc;
+  rc.reserve(s.size());
+  for (auto it = s.rbegin(); it != s.rend(); ++it) {
+    rc.push_back(sequence::complement_base(*it));
+  }
+  return rc;
+}
+
+// The adversarial input classes of the harness. Deterministic: the same
+// list is produced on every run.
+std::vector<std::pair<std::string, std::string>> input_classes() {
+  std::vector<std::pair<std::string, std::string>> cases;
+  cases.emplace_back("empty", "");
+  cases.emplace_back("single_base", "A");
+  cases.emplace_back("tiny", "ACGT");
+  cases.emplace_back("homopolymer", std::string(20000, 'A'));
+  cases.emplace_back("high_entropy", random_acgt(24576, 2024));
+  {
+    // Long exact repeats: one motif tiled far beyond any codec window.
+    const std::string motif = random_acgt(512, 7);
+    std::string tiled;
+    while (tiled.size() < 16384) tiled += motif;
+    cases.emplace_back("exact_repeats", std::move(tiled));
+  }
+  {
+    const std::string half = structured_dna(12000, 11);
+    cases.emplace_back("reverse_complement", half +
+                                                 reverse_complement_str(half));
+  }
+  cases.emplace_back("block_minus_one", structured_dna(kBlockBytes - 1, 13));
+  cases.emplace_back("block_exact", structured_dna(kBlockBytes, 17));
+  cases.emplace_back("block_plus_one", structured_dna(kBlockBytes + 1, 19));
+  cases.emplace_back("multi_block", structured_dna(3 * kBlockBytes + 7, 23));
+  return cases;
+}
+
+class DifferentialTest : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  static const std::pair<std::string, std::string>& current_case() {
+    static const auto cases = input_classes();
+    return cases[GetParam()];
+  }
+};
+
+TEST_P(DifferentialTest, AllCodecsMonolithicAndBlocked) {
+  const auto& [class_name, input] = current_case();
+  SCOPED_TRACE("input class: " + class_name);
+  util::ThreadPool pool(4);
+
+  for (const auto& codec : make_all_compressors(true)) {
+    SCOPED_TRACE(std::string("codec: ") + std::string(codec->name()));
+
+    // Monolithic: determinism + exact recovery.
+    const auto mono1 = codec->compress_str(input);
+    const auto mono2 = codec->compress_str(input);
+    EXPECT_EQ(mono1, mono2) << "monolithic stream not deterministic";
+    EXPECT_EQ(codec->decompress_str(mono1), input);
+    EXPECT_FALSE(is_dcb_stream(mono1));
+
+    // Blocked: determinism (independent of thread schedule) + recovery.
+    const std::span<const std::uint8_t> raw{
+        reinterpret_cast<const std::uint8_t*>(input.data()), input.size()};
+    const auto dcb1 = compress_blocked(*codec, raw, pool, kBlockBytes);
+    const auto dcb2 = compress_blocked(*codec, raw, pool, kBlockBytes);
+    EXPECT_EQ(dcb1, dcb2) << "DCB stream not deterministic";
+    ASSERT_TRUE(is_dcb_stream(dcb1));
+
+    const auto restored = decompress_blocked(*codec, dcb1, pool);
+    ASSERT_EQ(restored.size(), input.size());
+    EXPECT_TRUE(std::equal(restored.begin(), restored.end(),
+                           reinterpret_cast<const std::uint8_t*>(
+                               input.data())))
+        << "blocked round trip lost bytes";
+
+    // The header must describe the input geometry exactly.
+    const auto header = read_dcb_header(dcb1);
+    EXPECT_EQ(header.algorithm, codec->id());
+    EXPECT_EQ(header.original_size, input.size());
+    const std::uint64_t expect_blocks =
+        input.empty() ? 0 : (input.size() + kBlockBytes - 1) / kBlockBytes;
+    EXPECT_EQ(header.blocks.size(), expect_blocks);
+  }
+}
+
+std::string case_name(const ::testing::TestParamInfo<std::size_t>& info) {
+  static const auto cases = input_classes();
+  return cases[info.param].first;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllInputClasses, DifferentialTest,
+                         ::testing::Range(std::size_t{0},
+                                          input_classes().size()),
+                         case_name);
+
+// A blocked stream produced by one codec must be rejected by every other
+// codec's blocked decoder — cross-codec confusion fails loudly.
+TEST(DifferentialCross, BlockedStreamsRejectWrongDecoder) {
+  util::ThreadPool pool(2);
+  const std::string input = structured_dna(4096, 31);
+  const std::span<const std::uint8_t> raw{
+      reinterpret_cast<const std::uint8_t*>(input.data()), input.size()};
+  const auto codecs = make_all_compressors(true);
+  for (const auto& producer : codecs) {
+    const auto stream = compress_blocked(*producer, raw, pool, 1024);
+    for (const auto& consumer : codecs) {
+      if (consumer->id() == producer->id()) continue;
+      EXPECT_THROW((void)decompress_blocked(*consumer, stream, pool),
+                   std::runtime_error)
+          << producer->name() << " stream accepted by " << consumer->name();
+    }
+  }
+}
+
+// A monolithic stream is not a DCB stream and vice versa: the blocked
+// decoder must reject a bare single-codec stream.
+TEST(DifferentialCross, MonolithicStreamRejectedByBlockedDecoder) {
+  util::ThreadPool pool(2);
+  const auto codec = make_compressor("dnax");
+  const std::string input = structured_dna(2048, 37);
+  const auto mono = codec->compress_str(input);
+  EXPECT_THROW((void)decompress_blocked(*codec, mono, pool),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace dnacomp::compressors

@@ -5,11 +5,14 @@
 // counts as failing loudly.)
 #include <gtest/gtest.h>
 
+#include <numeric>
 #include <string>
 
 #include "compressors/compressor.h"
+#include "compressors/container.h"
 #include "sequence/generator.h"
 #include "util/random.h"
+#include "util/thread_pool.h"
 
 namespace dnacomp::compressors {
 namespace {
@@ -128,6 +131,138 @@ TEST_P(RobustnessTest, RandomGarbageStreams) {
 INSTANTIATE_TEST_SUITE_P(AllAlgorithms, RobustnessTest,
                          ::testing::Values("ctw", "dnax", "gencompress",
                                            "gzip", "bio2", "xm", "dnapack"));
+
+// ------------------------------------------------------ DCB container
+
+// Shared fixture state: one small multi-block DCB stream (dnax inner codec,
+// tiny blocks so header, index and payload regions all get exercised).
+class DcbRobustness : public ::testing::Test {
+ protected:
+  DcbRobustness()
+      : pool_(2),
+        codec_(make_compressor("dnax")),
+        input_(test_sequence(3000, 211)),
+        stream_(compress_blocked(
+            *codec_,
+            {reinterpret_cast<const std::uint8_t*>(input_.data()),
+             input_.size()},
+            pool_, 256)) {}
+
+  // Throws, or returns whether the decode matched the original input.
+  bool decodes_correctly(const std::vector<std::uint8_t>& data) {
+    const auto out = decompress_blocked(*codec_, data, pool_);
+    return out.size() == input_.size() &&
+           std::equal(out.begin(), out.end(),
+                      reinterpret_cast<const std::uint8_t*>(input_.data()));
+  }
+
+  util::ThreadPool pool_;
+  std::unique_ptr<Compressor> codec_;
+  std::string input_;
+  std::vector<std::uint8_t> stream_;
+};
+
+TEST_F(DcbRobustness, EverySingleByteCorruptionThrowsOrDecodesCorrectly) {
+  // Exhaustive: every byte position x every bit. A flip may land in dead
+  // padding bits of an inner payload (then the decode is still correct),
+  // but a silent *wrong* plaintext is never acceptable — that is exactly
+  // what the per-block CRCs exist to prevent.
+  ASSERT_GT(stream_.size(), 0u);
+  for (std::size_t byte = 0; byte < stream_.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      auto bad = stream_;
+      bad[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      try {
+        EXPECT_TRUE(decodes_correctly(bad))
+            << "silent wrong output, byte " << byte << " bit " << bit;
+      } catch (const std::exception&) {
+        // loud failure: the desired outcome for detectable corruption
+      }
+    }
+  }
+}
+
+TEST_F(DcbRobustness, IndexCorruptionIsCaughtByHeaderCrc) {
+  // Every byte of the header + index region (everything before the first
+  // payload) is covered by the header CRC: flipping it must throw
+  // std::runtime_error, never return data.
+  const auto header = read_dcb_header(stream_);
+  ASSERT_GT(header.blocks.size(), 1u);
+  for (std::size_t byte = 0; byte < header.payload_offset; ++byte) {
+    auto bad = stream_;
+    bad[byte] ^= 0x10;
+    EXPECT_THROW((void)decompress_blocked(*codec_, bad, pool_),
+                 std::runtime_error)
+        << "header/index byte " << byte;
+  }
+}
+
+TEST_F(DcbRobustness, PayloadCorruptionNeverReturnsWrongPlaintext) {
+  const auto header = read_dcb_header(stream_);
+  util::Xoshiro256 rng(97);
+  for (int trial = 0; trial < 300; ++trial) {
+    auto bad = stream_;
+    const std::size_t byte =
+        header.payload_offset +
+        rng.next_below(stream_.size() - header.payload_offset);
+    bad[byte] ^= static_cast<std::uint8_t>(1 + rng.next_below(255));
+    try {
+      EXPECT_TRUE(decodes_correctly(bad)) << "byte " << byte;
+    } catch (const std::exception&) {
+    }
+  }
+}
+
+TEST_F(DcbRobustness, TruncationAtEveryPrefixThrows) {
+  // In particular at every block boundary, but any proper prefix of a DCB
+  // stream is invalid: the header CRC or payload bounds check must fire.
+  const auto header = read_dcb_header(stream_);
+  std::vector<std::size_t> boundaries;
+  std::size_t off = header.payload_offset;
+  boundaries.push_back(off);
+  for (const auto& b : header.blocks) {
+    off += b.compressed_len;
+    boundaries.push_back(off);
+  }
+  EXPECT_EQ(boundaries.back(), stream_.size());  // no trailing slack
+
+  for (std::size_t len = 0; len < stream_.size(); ++len) {
+    const std::vector<std::uint8_t> cut(
+        stream_.begin(), stream_.begin() + static_cast<std::ptrdiff_t>(len));
+    EXPECT_THROW((void)decompress_blocked(*codec_, cut, pool_),
+                 std::runtime_error)
+        << "prefix " << len;
+  }
+}
+
+TEST_F(DcbRobustness, TrailingGarbageIsIgnored) {
+  auto padded = stream_;
+  for (int i = 0; i < 64; ++i) padded.push_back(0xA5);
+  EXPECT_TRUE(decodes_correctly(padded));
+}
+
+TEST_F(DcbRobustness, GarbageAndEmptyStreamsRejected) {
+  EXPECT_THROW((void)decompress_blocked(*codec_, {}, pool_),
+               std::runtime_error);
+  util::Xoshiro256 rng(31);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::uint8_t> garbage(4 + rng.next_below(256));
+    for (auto& b : garbage) b = static_cast<std::uint8_t>(rng.next());
+    if (trial % 2 == 0 && garbage.size() >= 5) {
+      garbage[0] = 'D';
+      garbage[1] = 'C';
+      garbage[2] = 'B';
+      garbage[3] = '1';
+      garbage[4] = static_cast<std::uint8_t>(codec_->id());
+    }
+    try {
+      (void)decompress_blocked(*codec_, garbage, pool_);
+    } catch (const std::exception&) {
+      // expected for essentially all inputs
+    }
+  }
+  SUCCEED();
+}
 
 }  // namespace
 }  // namespace dnacomp::compressors

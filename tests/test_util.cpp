@@ -3,13 +3,18 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <memory_resource>
 #include <set>
+#include <span>
 #include <sstream>
+#include <string_view>
 #include <thread>
+#include <vector>
 
 #include "util/check.h"
+#include "util/crc32.h"
 #include "util/csv.h"
 #include "util/memory_tracker.h"
 #include "util/random.h"
@@ -113,6 +118,50 @@ TEST(Random, WeightedChoiceRejectsBadInput) {
                std::logic_error);
 }
 
+TEST(Crc32, MatchesKnownVectors) {
+  // The standard IEEE 802.3 check values.
+  auto crc_of = [](std::string_view s) {
+    return util::crc32(
+        {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()});
+  };
+  EXPECT_EQ(crc_of(""), 0x00000000u);
+  EXPECT_EQ(crc_of("123456789"), 0xCBF43926u);
+  EXPECT_EQ(crc_of("The quick brown fox jumps over the lazy dog"),
+            0x414FA339u);
+}
+
+TEST(Crc32, IncrementalMatchesOneShot) {
+  std::vector<std::uint8_t> data(1027);
+  util::Xoshiro256 rng(3);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.next());
+  const auto whole = util::crc32(data);
+  // Any split must give the same result, including empty chunks and cut
+  // points that are not multiples of the slice-by-4 stride.
+  for (const std::size_t cut : {std::size_t{0}, std::size_t{1},
+                                std::size_t{3}, std::size_t{512},
+                                std::size_t{1026}, data.size()}) {
+    std::uint32_t crc = util::kCrc32Init;
+    crc = util::crc32_update(crc, std::span(data).subspan(0, cut));
+    crc = util::crc32_update(crc, std::span(data).subspan(cut));
+    EXPECT_EQ(crc, whole) << "cut " << cut;
+  }
+}
+
+TEST(Crc32, DetectsSingleBitFlips) {
+  std::vector<std::uint8_t> data(256);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i);
+  }
+  const auto good = util::crc32(data);
+  for (std::size_t byte = 0; byte < data.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      data[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      EXPECT_NE(util::crc32(data), good) << byte << ':' << bit;
+      data[byte] ^= static_cast<std::uint8_t>(1u << bit);
+    }
+  }
+}
+
 TEST(Stats, SummaryBasics) {
   const std::vector<double> xs = {4.0, 1.0, 3.0, 2.0};
   const auto s = util::summarize(xs);
@@ -213,6 +262,28 @@ TEST(ThreadPool, PropagatesExceptions) {
                                    if (i == 7) throw std::runtime_error("boom");
                                  }),
                std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForCancelsAfterFirstException) {
+  // A poisoned grid must fail fast: once a task throws, not-yet-started
+  // indices are skipped instead of being ground through. The non-throwing
+  // tasks sleep briefly so that, without cancellation, completing all of
+  // them would take ~1000 ms — far more than the few tasks that can start
+  // before the index-0 exception lands.
+  util::ThreadPool pool(2);
+  std::atomic<int> executed{0};
+  constexpr std::size_t kN = 1000;
+  EXPECT_THROW(
+      pool.parallel_for(kN,
+                        [&](std::size_t i) {
+                          if (i == 0) throw std::runtime_error("poison");
+                          std::this_thread::sleep_for(
+                              std::chrono::milliseconds(1));
+                          ++executed;
+                        }),
+      std::runtime_error);
+  EXPECT_LT(executed.load(), static_cast<int>(kN) / 2)
+      << "parallel_for kept scheduling work after an exception";
 }
 
 TEST(ThreadPool, SingleThreadPoolStillCompletes) {
