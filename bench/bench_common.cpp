@@ -7,11 +7,24 @@
 
 #include "core/measurement.h"
 #include "ml/validation.h"
+#include "obs/metrics.h"
 #include "util/stats.h"
 #include "util/table.h"
 #include "util/timer.h"
 
 namespace dnacomp::bench {
+namespace {
+
+// Sidecar target registered by csv_output_path; written at process exit so
+// it reflects everything the bench did, not just the state at CSV time.
+std::string g_metrics_sidecar_path;  // NOLINT(runtime/string)
+
+void write_metrics_sidecar_at_exit() {
+  if (g_metrics_sidecar_path.empty()) return;
+  write_metrics_sidecar(g_metrics_sidecar_path);
+}
+
+}  // namespace
 
 const std::vector<std::string>& algorithms() {
   static const std::vector<std::string> algos = {"ctw", "dnax", "gencompress",
@@ -19,7 +32,21 @@ const std::vector<std::string>& algorithms() {
   return algos;
 }
 
+void write_metrics_sidecar(const std::string& path) {
+  auto& reg = obs::MetricsRegistry::global();
+  if (!reg.enabled()) return;  // DNACOMP_METRICS=0: no sidecar
+  std::ofstream os(path, std::ios::binary);
+  if (!os.good()) return;
+  os << reg.to_json();
+}
+
 std::string csv_output_path(const std::string& bench_name) {
+  static bool registered = false;
+  if (!registered) {
+    registered = true;
+    std::atexit(write_metrics_sidecar_at_exit);
+  }
+  g_metrics_sidecar_path = bench_name + ".metrics.json";
   return bench_name + ".csv";
 }
 

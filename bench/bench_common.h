@@ -40,8 +40,15 @@ double mean_over(const std::vector<core::ExperimentRow>& rows,
 // The four paper algorithms in the run order.
 const std::vector<std::string>& algorithms();
 
-// Write a CSV file next to the console output; path is returned.
+// Write a CSV file next to the console output; path is returned. Also
+// registers an at-exit hook that drops a `<bench_name>.metrics.json`
+// sidecar (the process's metrics registry) next to the CSV, unless
+// metrics are disabled via DNACOMP_METRICS=0.
 std::string csv_output_path(const std::string& bench_name);
+
+// Dump the global metrics registry as JSON to `path` right now (no-op when
+// metrics are disabled). csv_output_path schedules this automatically.
+void write_metrics_sidecar(const std::string& path);
 
 // Per-figure validation-series helpers (figs 9-16): fit, evaluate and print
 // the match/gap series plus the normalized context analysis the paper plots.

@@ -7,6 +7,11 @@
 //   dnacomp_cli decompress [--reference <ref.fa>] <in.dcz> <out>
 //   dnacomp_cli info <in.dcz>
 //   dnacomp_cli select [--bandwidth <mbps>] <in>
+//   dnacomp_cli measure <in>
+//
+// Every command accepts --metrics-json <path> (or --metrics-json=<path>):
+// on exit the process dumps its metrics registry (counters, histograms,
+// spans) as JSON to the given path.
 //
 // Compression input may be raw sequence text or FASTA; it is cleansed
 // automatically (the framework's Fig. 7 pipeline). Decompression emits pure
@@ -22,6 +27,8 @@
 #include "compressors/container.h"
 #include "compressors/vertical/refcompress.h"
 #include "core/framework.h"
+#include "core/measurement.h"
+#include "obs/metrics.h"
 #include "sequence/cleanser.h"
 #include "util/timer.h"
 
@@ -40,7 +47,10 @@ int usage() {
       "  dnacomp_cli compress --reference <ref> <in> <out>\n"
       "  dnacomp_cli decompress [--reference <ref>] <in> <out>\n"
       "  dnacomp_cli info <in>\n"
-      "  dnacomp_cli select [--bandwidth <mbps>] <in>\n");
+      "  dnacomp_cli select [--bandwidth <mbps>] <in>\n"
+      "  dnacomp_cli measure <in>\n"
+      "options:\n"
+      "  --metrics-json <path>   dump the metrics registry as JSON on exit\n");
   return 2;
 }
 
@@ -240,6 +250,25 @@ int cmd_info(const std::string& in) {
   return 0;
 }
 
+int cmd_measure(const std::string& in) {
+  sequence::CorpusFile file;
+  file.name = in;
+  file.data = cleanse_file(in);
+
+  core::RealCostOracle oracle;  // no cache file: in-memory only
+  std::printf("%-12s %12s %12s %14s %14s\n", "algorithm", "comp_ms", "dec_ms",
+              "bytes", "peak_ram");
+  for (const char* algo : {"ctw", "dnax", "gencompress", "gzip"}) {
+    const auto c = oracle.measure(file, algo);
+    oracle.measure(file, algo);  // second call exercises the cache
+    std::printf("%-12s %12.2f %12.2f %14zu %14zu\n", algo, c.compress_ms,
+                c.decompress_ms, c.compressed_bytes, c.peak_ram_bytes);
+  }
+  std::printf("oracle cache: %zu hits / %zu misses\n", oracle.cache_hits(),
+              oracle.cache_misses());
+  return 0;
+}
+
 int cmd_select(double bandwidth_mbps, const std::string& in) {
   const auto seq = cleanse_file(in);
   core::AnalyticCostOracle oracle;
@@ -267,7 +296,7 @@ int main(int argc, char** argv) {
   try {
     if (argc < 2) return usage();
     const std::string cmd = argv[1];
-    std::string algo = "dnax", reference;
+    std::string algo = "dnax", reference, metrics_json;
     double bandwidth = 8.0;
     bool blocked = false;
     std::size_t block_bytes = compressors::kDcbDefaultBlockBytes;
@@ -284,28 +313,48 @@ int main(int argc, char** argv) {
         blocked = true;
       } else if (arg == "--block-size" && i + 1 < argc) {
         block_bytes = static_cast<std::size_t>(std::stoull(argv[++i]));
+      } else if (arg == "--metrics-json" && i + 1 < argc) {
+        metrics_json = argv[++i];
+      } else if (arg.rfind("--metrics-json=", 0) == 0) {
+        metrics_json = arg.substr(std::strlen("--metrics-json="));
       } else {
         positional.push_back(arg);
       }
     }
-    if (cmd == "list") return cmd_list();
-    if (cmd == "cleanse" && positional.size() == 2) {
-      return cmd_cleanse(positional[0], positional[1]);
+    const auto dispatch = [&]() -> int {
+      if (cmd == "list") return cmd_list();
+      if (cmd == "cleanse" && positional.size() == 2) {
+        return cmd_cleanse(positional[0], positional[1]);
+      }
+      if (cmd == "compress" && positional.size() == 2) {
+        return cmd_compress(algo, reference, blocked, block_bytes,
+                            positional[0], positional[1]);
+      }
+      if (cmd == "decompress" && positional.size() == 2) {
+        return cmd_decompress(reference, positional[0], positional[1]);
+      }
+      if (cmd == "info" && positional.size() == 1) {
+        return cmd_info(positional[0]);
+      }
+      if (cmd == "select" && positional.size() == 1) {
+        return cmd_select(bandwidth, positional[0]);
+      }
+      if (cmd == "measure" && positional.size() == 1) {
+        return cmd_measure(positional[0]);
+      }
+      return usage();
+    };
+    const int rc = dispatch();
+    if (!metrics_json.empty()) {
+      std::ofstream os(metrics_json, std::ios::binary);
+      if (!os.good()) {
+        std::fprintf(stderr, "cannot open %s for writing\n",
+                     metrics_json.c_str());
+        return 1;
+      }
+      os << obs::MetricsRegistry::global().to_json();
     }
-    if (cmd == "compress" && positional.size() == 2) {
-      return cmd_compress(algo, reference, blocked, block_bytes,
-                          positional[0], positional[1]);
-    }
-    if (cmd == "decompress" && positional.size() == 2) {
-      return cmd_decompress(reference, positional[0], positional[1]);
-    }
-    if (cmd == "info" && positional.size() == 1) {
-      return cmd_info(positional[0]);
-    }
-    if (cmd == "select" && positional.size() == 1) {
-      return cmd_select(bandwidth, positional[0]);
-    }
-    return usage();
+    return rc;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -1,5 +1,6 @@
 #include "bitio/range_coder.h"
 
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace dnacomp::bitio {
@@ -69,6 +70,11 @@ std::vector<std::uint8_t> RangeEncoder::finish() {
   DC_CHECK(!finished_);
   finished_ = true;
   for (int i = 0; i < 5; ++i) shift_low();
+  auto& reg = obs::MetricsRegistry::global();
+  if (reg.enabled()) {
+    reg.counter("range_coder.bytes_out").add(out_.size());
+    reg.counter("range_coder.streams").add(1);
+  }
   return std::move(out_);
 }
 

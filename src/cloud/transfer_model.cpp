@@ -112,4 +112,15 @@ double TransferModel::download_time_ms(std::size_t bytes) const {
   return wire_ms + blocks * p_.cloud_block_latency_ms;
 }
 
+double TransferModel::download_time_blocked_ms(std::size_t bytes,
+                                               std::size_t n_blocks) const {
+  if (n_blocks <= 1) return download_time_ms(bytes);
+  const auto fbytes = static_cast<double>(bytes);
+  const double wire_ms =
+      fbytes * 8.0 / (p_.cloud_bandwidth_mbps * kBitsPerMegabit) * 1000.0;
+  // One range request per container block; requests are sequential on the
+  // cloud VM, matching the upload side's one-round-trip-per-block charge.
+  return wire_ms + static_cast<double>(n_blocks) * p_.cloud_block_latency_ms;
+}
+
 }  // namespace dnacomp::cloud

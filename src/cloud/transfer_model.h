@@ -73,6 +73,15 @@ class TransferModel {
   // Storage account -> cloud VM.
   double download_time_ms(std::size_t bytes) const;
 
+  // Storage account -> cloud VM for a DCB blocked stream: the wire time is
+  // unchanged, but each container block is fetched with its own Get Blob
+  // range request and pays the cloud round-trip latency. Mirrors the
+  // per-block accounting already applied on the upload side, so blocked
+  // runs are not charged asymmetrically. With n_blocks <= 1 this degrades
+  // to the monolithic download_time_ms.
+  double download_time_blocked_ms(std::size_t bytes,
+                                  std::size_t n_blocks) const;
+
   // Rescale a compute time measured on the reference host into the target
   // context: CPU clock ratio plus RAM-pressure penalty.
   double scale_compute_ms(double measured_ms, std::size_t working_set_bytes,

@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 #include "util/crc32.h"
 
@@ -92,12 +93,15 @@ std::vector<std::uint8_t> compress_blocked(const Compressor& codec,
   std::vector<std::vector<std::uint8_t>> payloads(n_blocks);
   std::vector<std::uint32_t> crcs(n_blocks);
   pool.parallel_for(n_blocks, [&](std::size_t i) {
+    obs::ScopedSpan span("dcb.compress_block");
     const std::size_t off = i * block_bytes;
     const std::size_t len = std::min(block_bytes, input.size() - off);
     const auto chunk = input.subspan(off, len);
     crcs[i] = util::crc32(chunk);
     payloads[i] = codec.compress(chunk, mem);
   });
+  auto& reg = obs::MetricsRegistry::global();
+  if (reg.enabled()) reg.counter("dcb.blocks_compressed").add(n_blocks);
 
   std::vector<std::uint8_t> out;
   out.insert(out.end(), std::begin(kMagic), std::end(kMagic));
@@ -139,8 +143,11 @@ std::vector<std::uint8_t> decompress_blocked(const Compressor& codec,
     total += h.blocks[i].compressed_len;
   }
 
+  auto& reg = obs::MetricsRegistry::global();
+  const bool metrics_on = reg.enabled();
   std::vector<std::uint8_t> out(h.original_size);
   pool.parallel_for(h.blocks.size(), [&](std::size_t i) {
+    obs::ScopedSpan span("dcb.decompress_block");
     const auto payload = data.subspan(h.payload_offset + offsets[i],
                                       h.blocks[i].compressed_len);
     const auto plain = codec.decompress(payload, mem);
@@ -151,7 +158,9 @@ std::vector<std::uint8_t> decompress_blocked(const Compressor& codec,
       throw std::runtime_error("DCB: block " + std::to_string(i) +
                                " decoded to wrong size");
     }
+    if (metrics_on) reg.counter("dcb.crc_checks").add(1);
     if (util::crc32(plain) != h.blocks[i].plain_crc32) {
+      if (metrics_on) reg.counter("dcb.crc_failures").add(1);
       throw std::runtime_error("DCB: block " + std::to_string(i) +
                                " crc mismatch");
     }

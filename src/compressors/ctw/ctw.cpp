@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "bitio/range_coder.h"
+#include "obs/metrics.h"
 #include "sequence/alphabet.h"
 #include "util/check.h"
 
@@ -103,12 +104,25 @@ class CtwModel {
       if (n.c0 + n.c1 >= kRescaleAt) {
         n.c0 = (n.c0 + 1) / 2;
         n.c1 = (n.c1 + 1) / 2;
+        ++rescales_;
       }
     }
     history_ = (history_ << 1) | bit;
   }
 
   std::size_t node_count() const noexcept { return nodes_.size(); }
+  std::size_t rescale_count() const noexcept { return rescales_; }
+
+  // Publish codec-internal stats to the metrics registry (once per run, so
+  // the per-bit hot loop stays free of atomics).
+  void report_metrics(std::size_t coded_bases) const {
+    auto& reg = obs::MetricsRegistry::global();
+    if (!reg.enabled()) return;
+    reg.counter("ctw.nodes").add(nodes_.size());
+    reg.counter("ctw.rescales").add(rescales_);
+    reg.counter("ctw.coded_bases").add(coded_bases);
+    reg.counter("ctw.runs").add(1);
+  }
 
  private:
   static double sigmoid(double x) noexcept {
@@ -124,6 +138,7 @@ class CtwModel {
   CtwParams params_;
   util::TrackingResource& meter_;
   std::vector<Node> nodes_;
+  std::size_t rescales_ = 0;
   std::uint64_t history_ = 0;
   std::vector<std::uint32_t> path_;
   std::vector<double> pe1_;
@@ -158,6 +173,7 @@ std::vector<std::uint8_t> CtwCompressor::compress(
       model.update(bit);
     }
   }
+  model.report_metrics(codes.size());
   const auto body = enc.finish();
   out.insert(out.end(), body.begin(), body.end());
   return out;
@@ -190,6 +206,7 @@ std::vector<std::uint8_t> CtwCompressor::decompress(
   if (dec.overflowed()) {
     throw std::runtime_error("ctw: truncated stream");
   }
+  model.report_metrics(out.size());
   return out;
 }
 

@@ -6,6 +6,7 @@
 
 #include "bitio/models.h"
 #include "bitio/range_coder.h"
+#include "obs/metrics.h"
 #include "sequence/alphabet.h"
 #include "util/check.h"
 
@@ -97,6 +98,9 @@ std::vector<std::uint8_t> DnaXCompressor::compress(
     return len;
   };
 
+  // Local tallies, published to the registry once after the parse.
+  std::uint64_t n_exact = 0, n_rc = 0, match_bases = 0, n_literals = 0;
+
   std::size_t i = 0;
   bool kmers_valid = false;
   while (i < n) {
@@ -142,6 +146,8 @@ std::vector<std::uint8_t> DnaXCompressor::compress(
                       match_cost_bits(best_len, best_offset) <
                           1.9 * static_cast<double>(best_len);
     if (take) {
+      (best_is_rc ? n_rc : n_exact) += 1;
+      match_bases += best_len;
       models.is_match.encode(enc, 1);
       models.is_rc.encode(enc, best_is_rc ? 1 : 0);
       models.length.encode(enc, best_len - params_.min_match);
@@ -162,6 +168,7 @@ std::vector<std::uint8_t> DnaXCompressor::compress(
       i = end;
       kmers_valid = false;
     } else {
+      ++n_literals;
       models.is_match.encode(enc, 0);
       models.literal.encode(enc, codes[i]);
       if (i + k <= n) {
@@ -178,6 +185,15 @@ std::vector<std::uint8_t> DnaXCompressor::compress(
       }
       ++i;
     }
+  }
+
+  auto& reg = obs::MetricsRegistry::global();
+  if (reg.enabled()) {
+    reg.counter("dnax.matches.exact").add(n_exact);
+    reg.counter("dnax.matches.rc").add(n_rc);
+    reg.counter("dnax.match_bases").add(match_bases);
+    reg.counter("dnax.literals").add(n_literals);
+    reg.counter("dnax.runs").add(1);
   }
 
   const auto body = enc.finish();

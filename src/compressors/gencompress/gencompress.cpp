@@ -6,6 +6,7 @@
 
 #include "bitio/models.h"
 #include "bitio/range_coder.h"
+#include "obs/metrics.h"
 #include "sequence/alphabet.h"
 #include "util/check.h"
 
@@ -144,6 +145,9 @@ std::vector<std::uint8_t> GenCompressCompressor::compress(
     c.len = t;
   };
 
+  // Edit-operation tallies, published once after the parse.
+  std::uint64_t n_matches = 0, n_subst = 0, n_literals = 0, copy_bases = 0;
+
   std::size_t i = 0;
   Candidate cand, best;
   while (i < n) {
@@ -188,6 +192,9 @@ std::vector<std::uint8_t> GenCompressCompressor::compress(
     }
 
     if (best.gain_bits >= params_.min_gain_bits) {
+      ++n_matches;
+      n_subst += best.mismatches.size();
+      copy_bases += best.len;
       models.is_match.encode(enc, 1);
       models.offset.encode(enc, i - best.src - 1);
       models.length.encode(enc, best.len - params_.min_match);
@@ -205,11 +212,21 @@ std::vector<std::uint8_t> GenCompressCompressor::compress(
       for (std::size_t p = i; p < end; p += 2) insert_seed(p);
       i = end;
     } else {
+      ++n_literals;
       models.is_match.encode(enc, 0);
       models.literal.encode(enc, codes[i]);
       insert_seed(i);
       ++i;
     }
+  }
+
+  auto& reg = obs::MetricsRegistry::global();
+  if (reg.enabled()) {
+    reg.counter("gencompress.matches").add(n_matches);
+    reg.counter("gencompress.substitutions").add(n_subst);
+    reg.counter("gencompress.copy_bases").add(copy_bases);
+    reg.counter("gencompress.literals").add(n_literals);
+    reg.counter("gencompress.runs").add(1);
   }
 
   const auto body = enc.finish();

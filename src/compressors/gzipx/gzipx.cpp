@@ -5,6 +5,7 @@
 
 #include "bitio/bit_stream.h"
 #include "bitio/huffman.h"
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace dnacomp::compressors {
@@ -103,6 +104,7 @@ std::vector<std::uint8_t> GzipXCompressor::compress(
   util::ExternalAllocation token_mem(meter, tokens.size() * sizeof(Lz77Token));
 
   bitio::BitWriter bw;
+  std::uint64_t n_blocks = 0;
   std::size_t t = 0;
   while (t < tokens.size()) {
     // Gather one block's worth of tokens (measured in decoded bytes).
@@ -153,6 +155,14 @@ std::vector<std::uint8_t> GzipXCompressor::compress(
     }
     lit_enc.encode(bw, kEndOfBlock);
     t = block_end;
+    ++n_blocks;
+  }
+
+  auto& reg = obs::MetricsRegistry::global();
+  if (reg.enabled()) {
+    reg.counter("gzip.huffman_blocks").add(n_blocks);
+    reg.counter("gzip.tokens").add(tokens.size());
+    reg.counter("gzip.runs").add(1);
   }
 
   const auto body = bw.finish();

@@ -1,11 +1,18 @@
 #include "compressors/gzipx/lz77.h"
 
 #include <algorithm>
+#include <array>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace dnacomp::compressors {
 namespace {
+
+// Match-length histogram buckets (bases), chosen around the RFC 1951 length
+// classes: short repeats vs. the 258-capped long matches.
+constexpr std::array<double, 8> kMatchLenBounds = {3, 4, 8, 16, 32, 64, 128,
+                                                   258};
 
 inline std::uint32_t hash3(const std::uint8_t* p, unsigned table_bits) {
   const std::uint32_t v = (std::uint32_t{p[0]} << 16) |
@@ -111,6 +118,29 @@ std::vector<Lz77Token> Lz77Matcher::tokenize(
     const std::size_t end = match_start + len;
     for (std::size_t p = pos + 1; p < end && p + 3 <= n; ++p) insert(p);
     pos = end;
+  }
+
+  auto& reg = obs::MetricsRegistry::global();
+  if (reg.enabled()) {
+    // Aggregate locally, publish once: the histogram's atomic buckets are
+    // touched a handful of times per run instead of once per token.
+    obs::Histogram& hist = reg.histogram("lz77.match_len", kMatchLenBounds);
+    std::vector<std::uint64_t> local(hist.bucket_count(), 0);
+    std::uint64_t n_matches = 0, n_literals = 0;
+    double len_sum = 0.0;
+    for (const auto& t : tokens) {
+      if (t.is_match) {
+        ++n_matches;
+        len_sum += t.length;
+        ++local[hist.bucket_index(t.length)];
+      } else {
+        ++n_literals;
+      }
+    }
+    hist.merge(local, len_sum, n_matches);
+    reg.counter("lz77.matches").add(n_matches);
+    reg.counter("lz77.literals").add(n_literals);
+    reg.counter("lz77.runs").add(1);
   }
   return tokens;
 }

@@ -20,7 +20,8 @@ struct CellNoise {
 };
 
 CellNoise sample_noise(const NoiseParams& p, std::size_t file_idx,
-                       std::size_t ctx_idx, std::size_t algo_idx) {
+                       std::size_t ctx_idx, std::size_t algo_idx,
+                       bool couple_compute_load) {
   CellNoise n;
   if (!p.enabled) return n;
   util::Xoshiro256 rng(p.seed ^ (file_idx * 0x9E3779B97F4A7C15ULL) ^
@@ -37,8 +38,12 @@ CellNoise sample_noise(const NoiseParams& p, std::size_t file_idx,
                              static_cast<double>(p.overhead_max_bytes -
                                                  p.overhead_min_bytes);
   n.time_factor = std::exp(p.time_jitter_sigma * rng.next_gaussian());
-  // Heavy background load also slows the measured times a little.
-  n.time_factor *= 1.0 + n.cpu_load_pct / 8000.0;
+  // Heavy background load also slows the measured times a little. Only
+  // compute noise couples to CPU load — link-state jitter models network
+  // variability, which the client's background processes do not touch.
+  if (couple_compute_load) {
+    n.time_factor *= 1.0 + n.cpu_load_pct / 8000.0;
+  }
   return n;
 }
 
@@ -71,13 +76,17 @@ std::vector<ExperimentRow> run_experiments(
     std::size_t out = f * rows_per_file;
     for (std::size_t c = 0; c < contexts.size(); ++c) {
       const cloud::VmSpec& vm = contexts[c];
+      // Link-state noise is common to every algorithm in the cell (the same
+      // link, the same moment), so it is sampled once per (file, context)
+      // rather than once per algorithm, and it excludes the CPU-load
+      // coupling that only applies to compute jobs.
+      const CellNoise link_noise = sample_noise(
+          config.noise, f, c, std::size_t{0xFFFF}, /*couple_compute_load=*/
+          false);
       for (std::size_t a = 0; a < n_algos; ++a, ++out) {
         const MeasuredCosts& m = base[f * n_algos + a];
-        const CellNoise noise = sample_noise(config.noise, f, c, a);
-        // Link-state noise is common to every algorithm in the cell (the
-        // same link, the same moment); only compute noise is per-process.
-        const CellNoise link_noise =
-            sample_noise(config.noise, f, c, std::size_t{0xFFFF});
+        const CellNoise noise = sample_noise(config.noise, f, c, a,
+                                             /*couple_compute_load=*/true);
 
         ExperimentRow& row = rows[out];
         row.file_index = f;
@@ -100,8 +109,9 @@ std::vector<ExperimentRow> run_experiments(
         row.decompress_ms = model.scale_compute_ms(
             m.decompress_ms, working_set, cloud::cloud_vm());
         if (config.blocking.enabled) {
-          // One container block per block_bytes of *plaintext*; the upload
-          // ships the compressed payload but pays per-block request costs.
+          // One container block per block_bytes of *plaintext*; transfers
+          // ship the compressed payload but pay per-block request costs on
+          // both legs of the exchange.
           const std::size_t n_blocks =
               m.original_bytes == 0
                   ? 0
@@ -110,11 +120,13 @@ std::vector<ExperimentRow> run_experiments(
           row.upload_ms =
               model.upload_time_blocked_ms(m.compressed_bytes, n_blocks, vm) *
               link_noise.time_factor;
+          row.download_ms =
+              model.download_time_blocked_ms(m.compressed_bytes, n_blocks);
         } else {
           row.upload_ms = model.upload_time_ms(m.compressed_bytes, vm) *
                           link_noise.time_factor;
+          row.download_ms = model.download_time_ms(m.compressed_bytes);
         }
-        row.download_ms = model.download_time_ms(m.compressed_bytes);
         row.ram_used_bytes =
             (static_cast<double>(m.peak_ram_bytes) + noise.ram_overhead_bytes) *
             noise.ram_multiplier;

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 #include "util/csv.h"
 #include "util/memory_tracker.h"
@@ -68,10 +70,17 @@ void RealCostOracle::save_cache() const {
   std::ofstream os(opts_.cache_path, std::ios::binary);
   if (!os.good()) return;
   util::CsvWriter w(os);
+  // Timings round-trip at full precision so a warm-cache run reproduces the
+  // cold run's rows (and therefore its labels) byte for byte.
+  const auto ms = [](double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return std::string(buf);
+  };
   for (const auto& [key, c] : cache_) {
     w.field(key)
-        .field(c.compress_ms)
-        .field(c.decompress_ms)
+        .field(ms(c.compress_ms))
+        .field(ms(c.decompress_ms))
         .field(std::uint64_t{c.original_bytes})
         .field(std::uint64_t{c.compressed_bytes})
         .field(std::uint64_t{c.peak_ram_bytes});
@@ -81,18 +90,62 @@ void RealCostOracle::save_cache() const {
 
 MeasuredCosts RealCostOracle::measure(const sequence::CorpusFile& file,
                                       const std::string& algo) {
+  auto& reg = obs::MetricsRegistry::global();
+  obs::ScopedSpan span("oracle.measure");
   const std::string key = key_of(file, algo);
+
+  std::promise<MeasuredCosts> promise;
+  std::shared_future<MeasuredCosts> wait_on;
   {
     std::lock_guard lk(mu_);
     auto it = cache_.find(key);
     if (it != cache_.end()) {
       ++hits_;
+      if (reg.enabled()) reg.counter("oracle.cache_hits").add(1);
       return it->second;
     }
-    ++misses_;
+    auto in = inflight_.find(key);
+    if (in != inflight_.end()) {
+      // Another thread is measuring this key right now; wait for its result
+      // instead of duplicating an expensive (and timing-perturbing) run.
+      ++inflight_waits_;
+      if (reg.enabled()) reg.counter("oracle.inflight_waits").add(1);
+      wait_on = in->second;
+    } else {
+      ++misses_;
+      if (reg.enabled()) reg.counter("oracle.cache_misses").add(1);
+      inflight_.emplace(key, promise.get_future().share());
+    }
+  }
+  if (wait_on.valid()) {
+    return wait_on.get();  // rethrows the owner's failure, like a local run
   }
 
-  auto compressor = compressors::make_compressor(algo);
+  MeasuredCosts costs;
+  try {
+    costs = run_measurement(file, algo);
+  } catch (...) {
+    {
+      std::lock_guard lk(mu_);
+      inflight_.erase(key);
+    }
+    promise.set_exception(std::current_exception());
+    throw;
+  }
+  {
+    std::lock_guard lk(mu_);
+    cache_[key] = costs;
+    inflight_.erase(key);
+  }
+  promise.set_value(costs);
+  return costs;
+}
+
+MeasuredCosts RealCostOracle::run_measurement(const sequence::CorpusFile& file,
+                                              const std::string& algo) const {
+  auto compressor = opts_.compressor_factory
+                        ? opts_.compressor_factory(algo)
+                        : compressors::make_compressor(algo);
   DC_CHECK_MSG(compressor != nullptr, "unknown compressor: " + algo);
 
   const std::size_t reps =
@@ -107,37 +160,45 @@ MeasuredCosts RealCostOracle::measure(const sequence::CorpusFile& file,
       file.data.size()};
   for (std::size_t rep = 0; rep < reps; ++rep) {
     util::TrackingResource mem;
-    util::Stopwatch sw;
-    if (opts_.blocking.enabled) {
-      compressed = compressors::compress_blocked(
-          *compressor, raw, *block_pool_, opts_.blocking.block_bytes, &mem);
-    } else {
-      compressed = compressor->compress(raw, &mem);
+    {
+      obs::ScopedSpan stage("compress");
+      util::Stopwatch sw;
+      if (opts_.blocking.enabled) {
+        compressed = compressors::compress_blocked(
+            *compressor, raw, *block_pool_, opts_.blocking.block_bytes, &mem);
+      } else {
+        compressed = compressor->compress(raw, &mem);
+      }
+      best_comp = std::min(best_comp, sw.elapsed_ms());
     }
-    best_comp = std::min(best_comp, sw.elapsed_ms());
-    costs.peak_ram_bytes = mem.peak_bytes();
-    sw.reset();
+    // The compressor's working set does not shrink across repeats of the
+    // same input; reporting the max (not the last rep) keeps the figure
+    // meaningful if an allocator-warmup effect ever makes reps differ.
+    costs.peak_ram_bytes = std::max(costs.peak_ram_bytes, mem.peak_bytes());
     std::vector<std::uint8_t> restored;
-    if (opts_.blocking.enabled) {
-      restored = compressors::decompress_blocked(*compressor, compressed,
-                                                 *block_pool_, nullptr);
-    } else {
-      restored = compressor->decompress(compressed, nullptr);
+    {
+      obs::ScopedSpan stage("decompress");
+      util::Stopwatch sw;
+      if (opts_.blocking.enabled) {
+        restored = compressors::decompress_blocked(*compressor, compressed,
+                                                   *block_pool_, nullptr);
+      } else {
+        restored = compressor->decompress(compressed, nullptr);
+      }
+      best_dec = std::min(best_dec, sw.elapsed_ms());
     }
-    best_dec = std::min(best_dec, sw.elapsed_ms());
-    if (opts_.verify_round_trip &&
-        (restored.size() != raw.size() ||
-         !std::equal(restored.begin(), restored.end(), raw.begin()))) {
-      throw std::runtime_error("round-trip failure: " + algo + " on " +
-                               file.name);
+    if (opts_.verify_round_trip) {
+      obs::ScopedSpan stage("verify");
+      if (restored.size() != raw.size() ||
+          !std::equal(restored.begin(), restored.end(), raw.begin())) {
+        throw std::runtime_error("round-trip failure: " + algo + " on " +
+                                 file.name);
+      }
     }
   }
   costs.compress_ms = best_comp;
   costs.decompress_ms = best_dec;
   costs.compressed_bytes = compressed.size();
-
-  std::lock_guard lk(mu_);
-  cache_[key] = costs;
   return costs;
 }
 

@@ -7,6 +7,8 @@
 // tests so they do not depend on wall-clock noise.
 #pragma once
 
+#include <functional>
+#include <future>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -52,6 +54,10 @@ struct RealCostOracleOptions {
   // monolithic codec, so the grid compares blocked vs. monolithic under the
   // same harness. Cache entries are keyed separately per block size.
   compressors::BlockingPolicy blocking;
+  // Overrides compressors::make_compressor. Lets tests substitute codecs
+  // with controlled timing/RAM behaviour without touching the registry.
+  std::function<std::unique_ptr<compressors::Compressor>(const std::string&)>
+      compressor_factory;
 };
 
 // Runs the real compressors. Thread-safe (each call builds its own
@@ -67,17 +73,26 @@ class RealCostOracle final : public CostOracle {
   void save_cache() const;
   std::size_t cache_hits() const noexcept { return hits_; }
   std::size_t cache_misses() const noexcept { return misses_; }
+  // Times a thread blocked on another thread's in-flight measurement of the
+  // same key instead of duplicating the work.
+  std::size_t inflight_waits() const noexcept { return inflight_waits_; }
 
  private:
   std::string key_of(const sequence::CorpusFile& file,
                      const std::string& algo) const;
   void load_cache();
+  MeasuredCosts run_measurement(const sequence::CorpusFile& file,
+                                const std::string& algo) const;
 
   RealCostOracleOptions opts_;
   std::unique_ptr<util::ThreadPool> block_pool_;  // non-null iff blocking
   std::map<std::string, MeasuredCosts> cache_;
+  // Keys being measured right now; concurrent callers wait on the future
+  // instead of re-running the (expensive) measurement.
+  std::map<std::string, std::shared_future<MeasuredCosts>> inflight_;
   std::size_t hits_ = 0;
   std::size_t misses_ = 0;
+  std::size_t inflight_waits_ = 0;
   mutable std::mutex mu_;
 };
 

@@ -1,0 +1,493 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+
+namespace dnacomp::obs {
+namespace {
+
+void append_double(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+void append_json_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+// ------------------------------------------------------ minimal JSON parser
+//
+// Handles exactly the shape to_json emits: objects, arrays, strings without
+// escapes beyond \" and \\, and numbers. Enough for round-tripping our own
+// exports and for tests to validate CLI/bench sidecars without a JSON
+// dependency.
+
+struct JsonParser {
+  std::string_view text;
+  std::size_t pos = 0;
+
+  [[noreturn]] void fail(const char* what) const {
+    throw std::runtime_error("metrics json: " + std::string(what) +
+                             " at offset " + std::to_string(pos));
+  }
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+            text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos >= text.size()) fail("unexpected end");
+    return text[pos];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail("unexpected character");
+    ++pos;
+  }
+
+  bool consume_if(char c) {
+    skip_ws();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (pos < text.size() && text[pos] != '"') {
+      char c = text[pos++];
+      if (c == '\\') {
+        if (pos >= text.size()) fail("bad escape");
+        c = text[pos++];
+        if (c != '"' && c != '\\') fail("unsupported escape");
+      }
+      out += c;
+    }
+    if (pos >= text.size()) fail("unterminated string");
+    ++pos;  // closing quote
+    return out;
+  }
+
+  double parse_number() {
+    skip_ws();
+    const char* begin = text.data() + pos;
+    char* end = nullptr;
+    const double v = std::strtod(begin, &end);
+    if (end == begin) fail("expected number");
+    pos += static_cast<std::size_t>(end - begin);
+    return v;
+  }
+
+  std::uint64_t parse_u64() {
+    const double v = parse_number();
+    if (v < 0) fail("expected unsigned value");
+    return static_cast<std::uint64_t>(v);
+  }
+
+  // Calls fn(key) positioned at each value; fn must consume the value.
+  template <typename Fn>
+  void parse_object(Fn&& fn) {
+    expect('{');
+    if (consume_if('}')) return;
+    for (;;) {
+      const std::string key = [&] {
+        skip_ws();
+        return parse_string();
+      }();
+      expect(':');
+      fn(key);
+      if (consume_if(',')) continue;
+      expect('}');
+      return;
+    }
+  }
+
+  template <typename Fn>
+  void parse_array(Fn&& fn) {
+    expect('[');
+    if (consume_if(']')) return;
+    for (;;) {
+      fn();
+      if (consume_if(',')) continue;
+      expect(']');
+      return;
+    }
+  }
+};
+
+}  // namespace
+
+// -------------------------------------------------------------- Histogram
+
+Histogram::Histogram(std::span<const double> bounds)
+    : bounds_(bounds.begin(), bounds.end()), counts_(bounds.size() + 1) {
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    if (bounds_[i] <= bounds_[i - 1]) {
+      throw std::invalid_argument(
+          "Histogram bounds must be strictly increasing");
+    }
+  }
+}
+
+std::size_t Histogram::bucket_index(double v) const noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  return static_cast<std::size_t>(it - bounds_.begin());
+}
+
+void Histogram::observe(double v) noexcept {
+  counts_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+void Histogram::merge(std::span<const std::uint64_t> counts, double sum,
+                      std::uint64_t n) noexcept {
+  const std::size_t limit = std::min(counts.size(), counts_.size());
+  for (std::size_t i = 0; i < limit; ++i) {
+    if (counts[i] != 0) {
+      counts_[i].fetch_add(counts[i], std::memory_order_relaxed);
+    }
+  }
+  count_.fetch_add(n, std::memory_order_relaxed);
+  sum_.fetch_add(sum, std::memory_order_relaxed);
+}
+
+void Histogram::reset() noexcept {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+std::vector<std::uint64_t> Histogram::counts() const {
+  std::vector<std::uint64_t> out(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    out[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+// --------------------------------------------------------------- registry
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* reg = [] {
+    auto* r = new MetricsRegistry();
+    if (const char* env = std::getenv("DNACOMP_METRICS");
+        env != nullptr &&
+        (std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0)) {
+      r->set_enabled(false);
+    }
+    return r;
+  }();
+  return *reg;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard lk(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard lk(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::span<const double> bounds) {
+  std::lock_guard lk(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name), std::make_unique<Histogram>(bounds))
+             .first;
+  }
+  return *it->second;
+}
+
+void MetricsRegistry::record_span(std::string_view path, double ms) {
+  if (!enabled()) return;
+  std::lock_guard lk(mu_);
+  auto it = spans_.find(path);
+  if (it == spans_.end()) {
+    it = spans_.emplace(std::string(path), SpanStats{}).first;
+  }
+  SpanStats& s = it->second;
+  if (s.count == 0 || ms < s.min_ms) s.min_ms = ms;
+  if (s.count == 0 || ms > s.max_ms) s.max_ms = ms;
+  ++s.count;
+  s.total_ms += ms;
+}
+
+Snapshot MetricsRegistry::snapshot() const {
+  Snapshot s;
+  std::lock_guard lk(mu_);
+  for (const auto& [name, c] : counters_) s.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) {
+    s.gauges[name] = {g->value(), g->max_value()};
+  }
+  for (const auto& [name, h] : histograms_) {
+    s.histograms[name] = {h->bounds(), h->counts(), h->count(), h->sum()};
+  }
+  s.spans.insert(spans_.begin(), spans_.end());
+  return s;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard lk(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+  spans_.clear();
+}
+
+// ----------------------------------------------------------------- spans
+
+namespace {
+thread_local std::string t_span_path;
+}  // namespace
+
+ScopedSpan::ScopedSpan(std::string_view name, MetricsRegistry& reg) {
+  if (!reg.enabled()) return;
+  reg_ = &reg;
+  saved_parent_ = t_span_path;
+  if (saved_parent_.empty()) {
+    path_ = std::string(name);
+  } else {
+    path_ = saved_parent_ + "/" + std::string(name);
+  }
+  t_span_path = path_;
+  start_ = std::chrono::steady_clock::now();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (reg_ == nullptr) return;
+  reg_->record_span(path_, elapsed_ms());
+  t_span_path = saved_parent_;
+}
+
+double ScopedSpan::elapsed_ms() const noexcept {
+  if (reg_ == nullptr) return 0.0;
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start_)
+      .count();
+}
+
+// --------------------------------------------------------------- export
+
+std::string to_json(const Snapshot& s) {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, v] : s.counters) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    ";
+    append_json_string(out, name);
+    out += ": " + std::to_string(v);
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : s.gauges) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    ";
+    append_json_string(out, name);
+    out += ": {\"value\": " + std::to_string(g.value) +
+           ", \"max\": " + std::to_string(g.max) + "}";
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : s.histograms) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    ";
+    append_json_string(out, name);
+    out += ": {\"bounds\": [";
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      if (i > 0) out += ", ";
+      append_double(out, h.bounds[i]);
+    }
+    out += "], \"counts\": [";
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += std::to_string(h.counts[i]);
+    }
+    out += "], \"count\": " + std::to_string(h.count) + ", \"sum\": ";
+    append_double(out, h.sum);
+    out += "}";
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"spans\": {";
+  first = true;
+  for (const auto& [name, sp] : s.spans) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    ";
+    append_json_string(out, name);
+    out += ": {\"count\": " + std::to_string(sp.count) + ", \"total_ms\": ";
+    append_double(out, sp.total_ms);
+    out += ", \"min_ms\": ";
+    append_double(out, sp.min_ms);
+    out += ", \"max_ms\": ";
+    append_double(out, sp.max_ms);
+    out += "}";
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+std::string to_csv(const Snapshot& s) {
+  std::string out = "kind,name,field,value\n";
+  auto row = [&out](const char* kind, const std::string& name,
+                    const char* field, const std::string& value) {
+    out += kind;
+    out += ',';
+    out += name;  // metric names never contain commas/quotes
+    out += ',';
+    out += field;
+    out += ',';
+    out += value;
+    out += '\n';
+  };
+  auto num = [](double v) {
+    std::string s;
+    append_double(s, v);
+    return s;
+  };
+  for (const auto& [name, v] : s.counters) {
+    row("counter", name, "value", std::to_string(v));
+  }
+  for (const auto& [name, g] : s.gauges) {
+    row("gauge", name, "value", std::to_string(g.value));
+    row("gauge", name, "max", std::to_string(g.max));
+  }
+  for (const auto& [name, h] : s.histograms) {
+    row("histogram", name, "count", std::to_string(h.count));
+    row("histogram", name, "sum", num(h.sum));
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      const std::string field =
+          i < h.bounds.size() ? "le_" + num(h.bounds[i]) : std::string("le_inf");
+      row("histogram", name, field.c_str(), std::to_string(h.counts[i]));
+    }
+  }
+  for (const auto& [name, sp] : s.spans) {
+    row("span", name, "count", std::to_string(sp.count));
+    row("span", name, "total_ms", num(sp.total_ms));
+    row("span", name, "min_ms", num(sp.min_ms));
+    row("span", name, "max_ms", num(sp.max_ms));
+  }
+  return out;
+}
+
+Snapshot snapshot_from_json(std::string_view json) {
+  Snapshot s;
+  JsonParser p{json};
+  p.parse_object([&](const std::string& section) {
+    if (section == "counters") {
+      p.parse_object(
+          [&](const std::string& name) { s.counters[name] = p.parse_u64(); });
+    } else if (section == "gauges") {
+      p.parse_object([&](const std::string& name) {
+        GaugeSnapshot g;
+        p.parse_object([&](const std::string& field) {
+          const double v = p.parse_number();
+          if (field == "value") {
+            g.value = static_cast<std::int64_t>(v);
+          } else if (field == "max") {
+            g.max = static_cast<std::int64_t>(v);
+          } else {
+            p.fail("unknown gauge field");
+          }
+        });
+        s.gauges[name] = g;
+      });
+    } else if (section == "histograms") {
+      p.parse_object([&](const std::string& name) {
+        HistogramSnapshot h;
+        p.parse_object([&](const std::string& field) {
+          if (field == "bounds") {
+            p.parse_array([&] { h.bounds.push_back(p.parse_number()); });
+          } else if (field == "counts") {
+            p.parse_array([&] { h.counts.push_back(p.parse_u64()); });
+          } else if (field == "count") {
+            h.count = p.parse_u64();
+          } else if (field == "sum") {
+            h.sum = p.parse_number();
+          } else {
+            p.fail("unknown histogram field");
+          }
+        });
+        s.histograms[name] = h;
+      });
+    } else if (section == "spans") {
+      p.parse_object([&](const std::string& name) {
+        SpanStats sp;
+        p.parse_object([&](const std::string& field) {
+          const double v = p.parse_number();
+          if (field == "count") {
+            sp.count = static_cast<std::uint64_t>(v);
+          } else if (field == "total_ms") {
+            sp.total_ms = v;
+          } else if (field == "min_ms") {
+            sp.min_ms = v;
+          } else if (field == "max_ms") {
+            sp.max_ms = v;
+          } else {
+            p.fail("unknown span field");
+          }
+        });
+        s.spans[name] = sp;
+      });
+    } else {
+      p.fail("unknown section");
+    }
+  });
+  return s;
+}
+
+}  // namespace dnacomp::obs

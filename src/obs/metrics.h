@@ -1,0 +1,235 @@
+// Observability layer: metrics registry, RAII span timers and exporters.
+//
+// Everything the system measures about *itself* — codec-internal event
+// counts, oracle cache behaviour, container block timings, thread-pool
+// latencies — flows through a MetricsRegistry. The registry is thread-safe
+// (counters/gauges/histogram buckets are relaxed atomics; registration and
+// span merges take a mutex) and cheap enough to leave on in production:
+// instrumentation sites aggregate locally and publish once per call, so the
+// per-base hot loops never touch an atomic.
+//
+// Naming scheme (see DESIGN.md): dotted component paths,
+// `<component>.<event>` — e.g. "ctw.nodes", "oracle.cache_misses",
+// "threadpool.tasks". Spans nest via '/' into a hierarchy:
+// "oracle.measure/compress" is the compress stage inside a measure call.
+//
+// The whole layer can be disabled at runtime (set_enabled(false), or the
+// DNACOMP_METRICS=0 environment variable) — disabled registries make every
+// record call a no-op so benchmarks can quantify the collection overhead.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dnacomp::obs {
+
+// Monotonic event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    v_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+// Instantaneous level with a high-water mark (e.g. queue depth).
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+    v_.store(v, std::memory_order_relaxed);
+    raise_max(v);
+  }
+  void add(std::int64_t d) noexcept {
+    raise_max(v_.fetch_add(d, std::memory_order_relaxed) + d);
+  }
+  std::int64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  std::int64_t max_value() const noexcept {
+    return max_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept {
+    v_.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  void raise_max(std::int64_t v) noexcept {
+    std::int64_t cur = max_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::atomic<std::int64_t> v_{0};
+  std::atomic<std::int64_t> max_{0};
+};
+
+// Fixed-bucket histogram. Bucket i counts observations with
+// value <= bounds[i] (first matching bucket); values above the last bound
+// land in the overflow bucket, so counts().size() == bounds().size() + 1.
+class Histogram {
+ public:
+  explicit Histogram(std::span<const double> bounds);
+
+  void observe(double v) noexcept;
+  // Bulk merge for call sites that aggregate locally first: `counts` must
+  // have bucket_count() entries laid out like counts().
+  void merge(std::span<const std::uint64_t> counts, double sum,
+             std::uint64_t n) noexcept;
+
+  std::size_t bucket_index(double v) const noexcept;
+  std::size_t bucket_count() const noexcept { return counts_.size(); }
+  const std::vector<double>& bounds() const noexcept { return bounds_; }
+  std::vector<std::uint64_t> counts() const;
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+  void reset() noexcept;
+
+ private:
+  std::vector<double> bounds_;  // strictly increasing
+  std::vector<std::atomic<std::uint64_t>> counts_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+// Aggregated timings for one span path.
+struct SpanStats {
+  std::uint64_t count = 0;
+  double total_ms = 0.0;
+  double min_ms = 0.0;
+  double max_ms = 0.0;
+
+  bool operator==(const SpanStats&) const = default;
+};
+
+// ------------------------------------------------------------- snapshots
+
+struct GaugeSnapshot {
+  std::int64_t value = 0;
+  std::int64_t max = 0;
+
+  bool operator==(const GaugeSnapshot&) const = default;
+};
+
+struct HistogramSnapshot {
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> counts;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+
+  bool operator==(const HistogramSnapshot&) const = default;
+};
+
+// A consistent-enough copy of the registry (values are read individually
+// with relaxed loads; the registry keeps no cross-metric invariants).
+struct Snapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, GaugeSnapshot> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+  std::map<std::string, SpanStats> spans;
+
+  bool operator==(const Snapshot&) const = default;
+};
+
+// JSON object with "counters"/"gauges"/"histograms"/"spans" sections.
+// Doubles are printed with %.17g so parsing the text back reproduces the
+// exact values (round-trip tested).
+std::string to_json(const Snapshot& s);
+
+// Flat rows: kind,name,field,value — one line per scalar.
+std::string to_csv(const Snapshot& s);
+
+// Parses the subset of JSON that to_json emits (plus whitespace). Throws
+// std::runtime_error on malformed input.
+Snapshot snapshot_from_json(std::string_view json);
+
+// ------------------------------------------------------------- registry
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Process-wide registry. Honors DNACOMP_METRICS=0 (or "off") once at
+  // first use; set_enabled() can override later.
+  static MetricsRegistry& global();
+
+  // Find-or-create. References stay valid for the registry's lifetime
+  // (reset() zeroes values but never invalidates). Callers on warm paths
+  // should look up once and keep the reference.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  // `bounds` is used on first registration; later calls with the same name
+  // return the existing histogram regardless of bounds.
+  Histogram& histogram(std::string_view name, std::span<const double> bounds);
+
+  // Merge one span completion into the per-path aggregate.
+  void record_span(std::string_view path, double ms);
+
+  bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  void set_enabled(bool on) noexcept {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  Snapshot snapshot() const;
+  std::string to_json() const { return obs::to_json(snapshot()); }
+  std::string to_csv() const { return obs::to_csv(snapshot()); }
+
+  // Zero every value, keeping registrations (and references) alive.
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, SpanStats, std::less<>> spans_;
+  std::atomic<bool> enabled_{true};
+};
+
+// --------------------------------------------------------------- spans
+
+// RAII wall-clock timer. Each thread keeps its own span stack; nested spans
+// record under "parent/child" paths, and the elapsed time merges into the
+// registry exactly once, on scope exit. A span constructed against a
+// disabled registry is a complete no-op.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::string_view name,
+                      MetricsRegistry& reg = MetricsRegistry::global());
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  double elapsed_ms() const noexcept;
+  const std::string& path() const noexcept { return path_; }
+
+ private:
+  MetricsRegistry* reg_ = nullptr;  // null when disabled at construction
+  std::string path_;
+  std::string saved_parent_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace dnacomp::obs

@@ -1,10 +1,20 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <exception>
 
+#include "obs/metrics.h"
 #include "util/check.h"
+
+namespace {
+
+// Queue-wait histogram buckets (milliseconds).
+constexpr std::array<double, 7> kWaitBounds = {0.01, 0.1, 1, 10, 100, 1000,
+                                               10000};
+
+}  // namespace
 
 namespace dnacomp::util {
 
@@ -30,26 +40,41 @@ ThreadPool::~ThreadPool() {
 std::future<void> ThreadPool::submit(std::function<void()> task) {
   std::packaged_task<void()> pt(std::move(task));
   auto fut = pt.get_future();
+  std::size_t depth;
   {
     std::lock_guard lk(mu_);
     DC_CHECK_MSG(!stop_, "submit on stopped pool");
-    queue_.push(std::move(pt));
+    queue_.push({std::move(pt), std::chrono::steady_clock::now()});
+    depth = queue_.size();
   }
   cv_.notify_one();
+  auto& reg = obs::MetricsRegistry::global();
+  if (reg.enabled()) {
+    reg.gauge("threadpool.queue_depth").set(static_cast<double>(depth));
+  }
   return fut;
 }
 
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::packaged_task<void()> task;
+    QueuedTask qt;
     {
       std::unique_lock lk(mu_);
       cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stop_ must be true
-      task = std::move(queue_.front());
+      qt = std::move(queue_.front());
       queue_.pop();
     }
-    task();  // exceptions are captured in the packaged_task's future
+    auto& reg = obs::MetricsRegistry::global();
+    if (reg.enabled()) {
+      const auto wait =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - qt.enqueued)
+              .count();
+      reg.histogram("threadpool.task_wait_ms", kWaitBounds).observe(wait);
+      reg.counter("threadpool.tasks").add(1);
+    }
+    qt.task();  // exceptions are captured in the packaged_task's future
   }
 }
 

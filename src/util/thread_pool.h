@@ -3,6 +3,7 @@
 // each task its own pre-forked RNG and writing into a pre-sized slot.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
@@ -35,10 +36,16 @@ class ThreadPool {
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
  private:
+  // Enqueue timestamp rides along so workers can report queue wait time.
+  struct QueuedTask {
+    std::packaged_task<void()> task;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::packaged_task<void()>> queue_;
+  std::queue<QueuedTask> queue_;
   std::mutex mu_;
   std::condition_variable cv_;
   bool stop_ = false;

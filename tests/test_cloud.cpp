@@ -165,6 +165,21 @@ TEST(TransferModel, DownloadDependsOnlyOnSize) {
   EXPECT_GT(two_blocks, one_block);
 }
 
+TEST(TransferModel, BlockedDownloadAddsPerBlockLatency) {
+  const TransferModel model;
+  const std::size_t bytes = 1'000'000;
+  const double mono = model.download_time_ms(bytes);
+  // Degenerate block counts fall back to the monolithic path.
+  EXPECT_DOUBLE_EQ(model.download_time_blocked_ms(bytes, 0), mono);
+  EXPECT_DOUBLE_EQ(model.download_time_blocked_ms(bytes, 1), mono);
+  // More blocks, more Get Blob round trips: strictly monotonic in n_blocks,
+  // and the increment is exactly the cloud-side per-request latency.
+  const double d4 = model.download_time_blocked_ms(bytes, 4);
+  const double d16 = model.download_time_blocked_ms(bytes, 16);
+  EXPECT_LT(d4, d16);
+  EXPECT_NEAR(d16 - d4, 12.0 * model.params().cloud_block_latency_ms, 1e-9);
+}
+
 TEST(TransferModel, ComputeScalingByCpuRatio) {
   const TransferModel model;
   const VmSpec half_speed{1.2, 16.0, 8.0};  // huge RAM: no memory effects

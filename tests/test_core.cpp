@@ -4,13 +4,18 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
+#include <memory>
+#include <thread>
 
 #include "core/experiment.h"
 #include "core/labeling.h"
 #include "core/measurement.h"
 #include "core/training.h"
+#include "util/memory_tracker.h"
 
 namespace dnacomp::core {
 namespace {
@@ -101,6 +106,107 @@ TEST(RealOracle, MeasuresAndCachesRoundTrip) {
   EXPECT_EQ(first.original_bytes, file.data.size());
 }
 
+// Identity compressor with controlled RAM/time behaviour, injected through
+// RealCostOracleOptions::compressor_factory for the measurement-path
+// regression tests below.
+class FakeCodec final : public compressors::Compressor {
+ public:
+  struct Behaviour {
+    std::atomic<int> compress_calls{0};
+    // RAM noted on the first compress call vs. every later one.
+    std::size_t first_call_ram = 8u << 20;
+    std::size_t later_call_ram = 1u << 20;
+    std::chrono::milliseconds compress_sleep{0};
+  };
+
+  explicit FakeCodec(std::shared_ptr<Behaviour> b) : b_(std::move(b)) {}
+
+  compressors::AlgorithmId id() const noexcept override {
+    return compressors::AlgorithmId::kDnaX;
+  }
+  std::string_view family() const noexcept override { return "fake"; }
+
+  std::vector<std::uint8_t> compress(
+      std::span<const std::uint8_t> input,
+      util::TrackingResource* mem) const override {
+    const int call = b_->compress_calls.fetch_add(1);
+    if (b_->compress_sleep.count() > 0) {
+      std::this_thread::sleep_for(b_->compress_sleep);
+    }
+    if (mem != nullptr) {
+      util::ExternalAllocation alloc(
+          *mem, call == 0 ? b_->first_call_ram : b_->later_call_ram);
+    }
+    return {input.begin(), input.end()};
+  }
+  std::vector<std::uint8_t> decompress(
+      std::span<const std::uint8_t> input,
+      util::TrackingResource*) const override {
+    return {input.begin(), input.end()};
+  }
+
+ private:
+  std::shared_ptr<Behaviour> b_;
+};
+
+TEST(RealOracle, PeakRamIsMaxAcrossRepeats) {
+  // Regression: peak_ram_bytes used to be overwritten by each repeat, so a
+  // codec whose first run had the largest working set reported the last
+  // (smallest) figure instead of the peak.
+  auto behaviour = std::make_shared<FakeCodec::Behaviour>();
+  RealCostOracleOptions opts;
+  opts.repeats = 3;
+  opts.repeats_below_bytes = std::size_t{1} << 30;  // always repeat
+  opts.compressor_factory = [behaviour](const std::string&) {
+    return std::make_unique<FakeCodec>(behaviour);
+  };
+  RealCostOracle oracle(opts);
+
+  sequence::CorpusFile file;
+  file.name = "probe";
+  file.data = std::string(4096, 'A');
+  const auto c = oracle.measure(file, "fake");
+  EXPECT_EQ(behaviour->compress_calls.load(), 3);
+  EXPECT_EQ(c.peak_ram_bytes, std::size_t{8} << 20);
+}
+
+TEST(RealOracle, ConcurrentMeasureDeduplicatesInFlight) {
+  // Regression: concurrent threads asking for the same (file, algo) before
+  // the first measurement finished each ran their own measurement,
+  // perturbing the timings they were trying to record. Now the first caller
+  // owns the run and the rest wait on its result.
+  auto behaviour = std::make_shared<FakeCodec::Behaviour>();
+  behaviour->first_call_ram = behaviour->later_call_ram = 1u << 20;
+  behaviour->compress_sleep = std::chrono::milliseconds(50);
+  RealCostOracleOptions opts;
+  opts.repeats_below_bytes = 0;  // single rep: one compress per measurement
+  opts.compressor_factory = [behaviour](const std::string&) {
+    return std::make_unique<FakeCodec>(behaviour);
+  };
+  RealCostOracle oracle(opts);
+
+  sequence::CorpusFile file;
+  file.name = "probe";
+  file.data = std::string(4096, 'A');
+
+  constexpr std::size_t kThreads = 8;
+  std::vector<MeasuredCosts> results(kThreads);
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back(
+        [&, t] { results[t] = oracle.measure(file, "fake"); });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(behaviour->compress_calls.load(), 1);
+  EXPECT_EQ(oracle.cache_misses(), 1u);
+  EXPECT_EQ(oracle.cache_hits() + oracle.inflight_waits(), kThreads - 1);
+  for (const auto& r : results) {
+    EXPECT_EQ(r.compressed_bytes, results[0].compressed_bytes);
+    EXPECT_EQ(r.peak_ram_bytes, results[0].peak_ram_bytes);
+  }
+}
+
 TEST(Experiment, GridShapeMatchesPaperArithmetic) {
   const auto corpus = sequence::build_corpus(small_corpus_options());
   const auto contexts = cloud::context_grid();
@@ -188,6 +294,126 @@ TEST(Experiment, ContextProjectionDirections) {
   const auto& fast_bw = find_row(2.4, 4.0, 8.0, "dnax");
   EXPECT_GT(slow_bw.upload_ms, fast_bw.upload_ms);
   EXPECT_EQ(slow_bw.compressed_bytes, fast_bw.compressed_bytes);
+}
+
+TEST(Experiment, LinkNoiseExcludesComputeLoadCoupling) {
+  // Regression: upload jitter used to include the CPU-load coupling factor
+  // (1 + load/8000) that models a busy *processor*, not a noisy link. With
+  // the lognormal jitter zeroed, upload times must match the transfer model
+  // exactly even while noise stays enabled.
+  const auto corpus = sequence::build_corpus(small_corpus_options());
+  const auto contexts = cloud::context_grid();
+  AnalyticCostOracle oracle;
+  ExperimentConfig cfg;
+  cfg.noise.time_jitter_sigma = 0.0;
+  const auto rows = run_experiments(corpus, contexts, oracle, cfg);
+  const cloud::TransferModel model(cfg.transfer);
+  for (const auto& r : rows) {
+    EXPECT_DOUBLE_EQ(
+        r.upload_ms, model.upload_time_ms(r.compressed_bytes, r.context))
+        << r.file_name << " @ " << r.algorithm;
+  }
+}
+
+TEST(Experiment, LinkNoiseSharedAcrossAlgorithmsInCell) {
+  // Regression: link noise was re-sampled per algorithm, so two algorithms
+  // in the same (file, context) cell saw different link states. The jitter
+  // multiplier must be common to the whole cell.
+  const auto corpus = sequence::build_corpus(small_corpus_options());
+  const auto contexts = cloud::context_grid();
+  AnalyticCostOracle oracle;
+  ExperimentConfig cfg;  // default noise, sigma > 0
+  const auto rows = run_experiments(corpus, contexts, oracle, cfg);
+  const cloud::TransferModel model(cfg.transfer);
+  const std::size_t n_algos = cfg.algorithms.size();
+  ASSERT_EQ(rows.size() % n_algos, 0u);
+  for (std::size_t cell = 0; cell < rows.size() / n_algos; ++cell) {
+    const auto factor_of = [&](std::size_t a) {
+      const auto& r = rows[cell * n_algos + a];
+      return r.upload_ms / model.upload_time_ms(r.compressed_bytes, r.context);
+    };
+    const double first = factor_of(0);
+    for (std::size_t a = 1; a < n_algos; ++a) {
+      EXPECT_NEAR(factor_of(a), first, 1e-9 * first);
+    }
+  }
+}
+
+TEST(Experiment, BlockedDownloadPaysPerBlockRequests) {
+  // Regression: blocked runs charged per-block request latency on upload
+  // but downloaded as if the stream were monolithic. Smaller blocks mean
+  // more Get Blob round trips, so download time must not decrease.
+  const auto corpus = sequence::build_corpus(small_corpus_options());
+  const auto contexts = cloud::context_grid();
+  AnalyticCostOracle oracle;
+  ExperimentConfig coarse, fine;
+  coarse.noise.enabled = fine.noise.enabled = false;
+  coarse.blocking.enabled = fine.blocking.enabled = true;
+  coarse.blocking.block_bytes = std::size_t{1} << 20;
+  fine.blocking.block_bytes = std::size_t{16} << 10;
+  const auto coarse_rows = run_experiments(corpus, contexts, oracle, coarse);
+  const auto fine_rows = run_experiments(corpus, contexts, oracle, fine);
+  ASSERT_EQ(coarse_rows.size(), fine_rows.size());
+  std::size_t strictly_greater = 0;
+  for (std::size_t i = 0; i < fine_rows.size(); ++i) {
+    EXPECT_GE(fine_rows[i].download_ms, coarse_rows[i].download_ms);
+    if (fine_rows[i].download_ms > coarse_rows[i].download_ms) {
+      ++strictly_greater;
+    }
+  }
+  EXPECT_GT(strictly_greater, 0u);
+}
+
+TEST(Experiment, WarmCacheYieldsIdenticalLabels) {
+  // Acceptance: re-running the grid against a warm measurement cache must
+  // reproduce the cold run's labels byte for byte. This holds only because
+  // (a) measurements are deduplicated, (b) peak RAM is rep-order-invariant
+  // and (c) the cache persists timings at full precision.
+  const std::string cache =
+      (std::filesystem::path(::testing::TempDir()) / "warm_cold_cache.csv")
+          .string();
+  std::filesystem::remove(cache);
+
+  sequence::CorpusOptions copts;
+  copts.synthetic_count = 6;
+  copts.min_size = 8192;
+  copts.max_size = 32768;
+  const auto corpus = sequence::build_corpus(copts);
+  const auto contexts = cloud::context_grid();
+  ExperimentConfig cfg;
+  cfg.algorithms = {"dnax", "gzip"};
+
+  std::vector<ExperimentRow> cold, warm;
+  {
+    RealCostOracleOptions opts;
+    opts.cache_path = cache;
+    RealCostOracle oracle(opts);
+    cold = run_experiments(corpus, contexts, oracle, cfg);
+  }  // destructor persists the cache
+  {
+    RealCostOracleOptions opts;
+    opts.cache_path = cache;
+    RealCostOracle oracle(opts);
+    warm = run_experiments(corpus, contexts, oracle, cfg);
+    EXPECT_EQ(oracle.cache_misses(), 0u);
+  }
+
+  ASSERT_EQ(cold.size(), warm.size());
+  for (std::size_t i = 0; i < cold.size(); ++i) {
+    EXPECT_EQ(cold[i].compressed_bytes, warm[i].compressed_bytes);
+    EXPECT_EQ(cold[i].compress_ms, warm[i].compress_ms);
+    EXPECT_EQ(cold[i].upload_ms, warm[i].upload_ms);
+    EXPECT_EQ(cold[i].download_ms, warm[i].download_ms);
+    EXPECT_EQ(cold[i].ram_used_bytes, warm[i].ram_used_bytes);
+  }
+  const auto cold_cells =
+      label_cells(cold, cfg.algorithms, WeightSpec::total_time());
+  const auto warm_cells =
+      label_cells(warm, cfg.algorithms, WeightSpec::total_time());
+  ASSERT_EQ(cold_cells.size(), warm_cells.size());
+  for (std::size_t i = 0; i < cold_cells.size(); ++i) {
+    EXPECT_EQ(cold_cells[i].winner, warm_cells[i].winner);
+  }
 }
 
 // ---------------------------------------------------------------- labeling

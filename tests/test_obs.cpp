@@ -1,0 +1,232 @@
+// Tests for src/obs: metrics registry, histogram bucket edges, concurrent
+// updates, span nesting and the JSON/CSV exporters.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace dnacomp::obs {
+namespace {
+
+constexpr std::array<double, 3> kBounds = {1.0, 2.0, 4.0};
+
+TEST(Counter, ConcurrentIncrementsAreLossless) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("c");
+  constexpr std::size_t kThreads = 8;
+  constexpr std::uint64_t kPerThread = 10'000;
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) c.add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+  // Same name returns the same counter, not a fresh one.
+  EXPECT_EQ(reg.counter("c").value(), kThreads * kPerThread);
+}
+
+TEST(Gauge, TracksValueAndHighWaterMark) {
+  MetricsRegistry reg;
+  Gauge& g = reg.gauge("g");
+  g.set(5);
+  g.set(2);
+  EXPECT_EQ(g.value(), 2);
+  EXPECT_EQ(g.max_value(), 5);
+  g.add(10);
+  EXPECT_EQ(g.value(), 12);
+  EXPECT_EQ(g.max_value(), 12);
+  g.add(-3);
+  EXPECT_EQ(g.value(), 9);
+  EXPECT_EQ(g.max_value(), 12);
+}
+
+TEST(Histogram, BucketEdgesAreInclusiveUpperBounds) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("h", kBounds);
+  ASSERT_EQ(h.bucket_count(), 4u);  // 3 bounds + overflow
+  // Bucket i counts v <= bounds[i]: the edge value lands in its own bucket.
+  EXPECT_EQ(h.bucket_index(0.5), 0u);
+  EXPECT_EQ(h.bucket_index(1.0), 0u);
+  EXPECT_EQ(h.bucket_index(1.5), 1u);
+  EXPECT_EQ(h.bucket_index(2.0), 1u);
+  EXPECT_EQ(h.bucket_index(4.0), 2u);
+  EXPECT_EQ(h.bucket_index(4.1), 3u);  // overflow
+
+  h.observe(1.0);
+  h.observe(4.0);
+  h.observe(4.1);
+  const auto counts = h.counts();
+  EXPECT_EQ(counts[0], 1u);
+  EXPECT_EQ(counts[1], 0u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 9.1);
+}
+
+TEST(Histogram, ConcurrentObservesAreLossless) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("h", kBounds);
+  constexpr std::size_t kThreads = 8;
+  constexpr std::uint64_t kPerThread = 5'000;
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        h.observe(static_cast<double>(i % 6));  // spreads over all buckets
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.count(), kThreads * kPerThread);
+  std::uint64_t total = 0;
+  for (const auto c : h.counts()) total += c;
+  EXPECT_EQ(total, kThreads * kPerThread);
+}
+
+TEST(Histogram, MergeMatchesIndividualObserves) {
+  MetricsRegistry reg;
+  Histogram& a = reg.histogram("a", kBounds);
+  Histogram& b = reg.histogram("b", kBounds);
+  const double values[] = {0.2, 1.0, 3.7, 9.0, 2.0};
+  std::vector<std::uint64_t> local(b.bucket_count(), 0);
+  double sum = 0.0;
+  for (const double v : values) {
+    a.observe(v);
+    ++local[b.bucket_index(v)];
+    sum += v;
+  }
+  b.merge(local, sum, std::size(values));
+  EXPECT_EQ(a.counts(), b.counts());
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_DOUBLE_EQ(a.sum(), b.sum());
+}
+
+TEST(ScopedSpan, NestsIntoSlashPaths) {
+  MetricsRegistry reg;
+  {
+    ScopedSpan outer("outer", reg);
+    EXPECT_EQ(outer.path(), "outer");
+    {
+      ScopedSpan inner("inner", reg);
+      EXPECT_EQ(inner.path(), "outer/inner");
+    }
+    ScopedSpan sibling("sibling", reg);
+    EXPECT_EQ(sibling.path(), "outer/sibling");
+  }
+  const auto s = reg.snapshot();
+  ASSERT_EQ(s.spans.size(), 3u);
+  EXPECT_EQ(s.spans.count("outer"), 1u);
+  EXPECT_EQ(s.spans.count("outer/inner"), 1u);
+  EXPECT_EQ(s.spans.count("outer/sibling"), 1u);
+  EXPECT_EQ(s.spans.at("outer").count, 1u);
+  EXPECT_GE(s.spans.at("outer").total_ms, s.spans.at("outer/inner").total_ms);
+}
+
+TEST(ScopedSpan, AggregatesAcrossRepeats) {
+  MetricsRegistry reg;
+  for (int i = 0; i < 5; ++i) {
+    ScopedSpan span("work", reg);
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  const auto s = reg.snapshot();
+  const auto& w = s.spans.at("work");
+  EXPECT_EQ(w.count, 5u);
+  EXPECT_GT(w.total_ms, 0.0);
+  EXPECT_LE(w.min_ms, w.max_ms);
+  EXPECT_GE(w.total_ms, w.max_ms);
+}
+
+TEST(Registry, DisabledRegistryRecordsNothing) {
+  MetricsRegistry reg;
+  reg.set_enabled(false);
+  {
+    ScopedSpan span("ghost", reg);
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+  reg.record_span("direct", 1.0);
+  EXPECT_TRUE(reg.snapshot().spans.empty());
+}
+
+TEST(Registry, ResetZeroesValuesButKeepsReferences) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("c");
+  Gauge& g = reg.gauge("g");
+  Histogram& h = reg.histogram("h", kBounds);
+  c.add(7);
+  g.set(3);
+  h.observe(1.5);
+  reg.record_span("s", 2.0);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_EQ(g.max_value(), 0);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_TRUE(reg.snapshot().spans.empty());
+  // The original references are still the live registry objects.
+  c.add(1);
+  EXPECT_EQ(reg.snapshot().counters.at("c"), 1u);
+}
+
+TEST(Export, JsonRoundTripsExactly) {
+  MetricsRegistry reg;
+  reg.counter("compress.calls").add(42);
+  reg.gauge("queue.depth").set(9);
+  reg.gauge("queue.depth").set(4);
+  Histogram& h = reg.histogram("lat", kBounds);
+  h.observe(0.1);
+  h.observe(2.0);
+  h.observe(100.0);
+  reg.record_span("a", 1.25);
+  reg.record_span("a", 0.125);
+  reg.record_span("a/b", 0.0625);
+
+  const Snapshot before = reg.snapshot();
+  const Snapshot after = snapshot_from_json(to_json(before));
+  EXPECT_EQ(before, after);
+
+  // A second round trip through non-terminating decimals as well.
+  reg.record_span("a", 0.1);  // 0.1 is not exactly representable
+  h.observe(1.0 / 3.0);
+  const Snapshot odd = reg.snapshot();
+  EXPECT_EQ(odd, snapshot_from_json(to_json(odd)));
+}
+
+TEST(Export, EmptyRegistryRoundTrips) {
+  MetricsRegistry reg;
+  const Snapshot s = reg.snapshot();
+  EXPECT_EQ(s, snapshot_from_json(to_json(s)));
+}
+
+TEST(Export, MalformedJsonThrows) {
+  EXPECT_THROW(snapshot_from_json(""), std::runtime_error);
+  EXPECT_THROW(snapshot_from_json("{"), std::runtime_error);
+  EXPECT_THROW(snapshot_from_json("[1,2]"), std::runtime_error);
+  EXPECT_THROW(snapshot_from_json("{\"counters\": {\"x\": }}"),
+               std::runtime_error);
+}
+
+TEST(Export, CsvListsEveryScalar) {
+  MetricsRegistry reg;
+  reg.counter("n").add(3);
+  reg.gauge("g").set(2);
+  reg.histogram("h", kBounds).observe(1.5);
+  reg.record_span("sp", 4.0);
+  const std::string csv = reg.to_csv();
+  EXPECT_NE(csv.find("counter,n,value,3"), std::string::npos);
+  EXPECT_NE(csv.find("gauge,g,value,2"), std::string::npos);
+  EXPECT_NE(csv.find("gauge,g,max,2"), std::string::npos);
+  EXPECT_NE(csv.find("histogram,h,le_2,1"), std::string::npos);
+  EXPECT_NE(csv.find("histogram,h,le_inf,0"), std::string::npos);
+  EXPECT_NE(csv.find("span,sp,count,1"), std::string::npos);
+  EXPECT_NE(csv.find("span,sp,total_ms,4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dnacomp::obs
