@@ -1,0 +1,204 @@
+// Exchange service bench: the full request pipeline (select -> compress ->
+// upload -> download -> decompress -> verify) under concurrent load, with
+// and without injected transfer faults.
+//
+// Reports per fault rate: sustained throughput, p50/p99 end-to-end latency,
+// faulted-attempt (retry) counts and artifact-cache hit rate. Results land
+// in BENCH_exchange.json.
+//
+// Acceptance gate: at 64 concurrent in-flight requests and a 10 % injected
+// transfer fault rate, every round trip must verify byte-exact (zero
+// failures), and the faulted run must actually exercise the retry path.
+#include <algorithm>
+#include <cstdio>
+#include <deque>
+#include <fstream>
+#include <future>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cloud/vm.h"
+#include "core/framework.h"
+#include "exchange/service.h"
+#include "sequence/corpus.h"
+#include "util/json.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+using namespace dnacomp;
+
+namespace {
+
+constexpr std::size_t kRequests = 256;
+constexpr std::size_t kConcurrency = 64;
+
+struct RunResult {
+  double fault_rate = 0.0;
+  double wall_ms = 0.0;
+  double throughput_rps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  std::size_t retries = 0;
+  std::size_t failures = 0;
+  double cache_hit_rate = 0.0;
+};
+
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+// Same pipeline as core::train_inference_engine, inlined so the bench owns
+// the classifier for the service.
+std::shared_ptr<ml::Classifier> train_selector(
+    std::vector<std::string>* algorithms) {
+  core::AnalyticCostOracle oracle;
+  core::EngineTrainingOptions opts;
+  opts.corpus.synthetic_count = 40;
+  opts.corpus.max_size = 262144;
+  const auto corpus = sequence::build_corpus(opts.corpus);
+  const auto contexts = cloud::context_grid();
+  const auto rows =
+      core::run_experiments(corpus, contexts, oracle, opts.experiment);
+  const auto cells = core::label_cells(rows, opts.experiment.algorithms,
+                                       core::WeightSpec::total_time());
+  const auto split = sequence::split_corpus(corpus.size());
+  const auto tables =
+      core::make_tables(cells, opts.experiment.algorithms, split.test);
+  auto fit = core::fit_and_evaluate(opts.method, tables);
+  *algorithms = opts.experiment.algorithms;
+  return std::shared_ptr<ml::Classifier>(std::move(fit.model));
+}
+
+RunResult run_load(const std::shared_ptr<ml::Classifier>& model,
+                   const std::vector<std::string>& algorithms,
+                   const std::vector<sequence::CorpusFile>& payloads,
+                   double fault_rate) {
+  cloud::BlobStore store;
+  exchange::ExchangeServiceOptions opts;
+  opts.max_pending = kConcurrency;
+  opts.dcb_threshold_bytes = 262144;
+  opts.faults.drop_probability = fault_rate;
+  opts.faults.seed = 7;
+  exchange::ExchangeService service(store, model, algorithms, opts);
+
+  const auto contexts = cloud::context_grid();
+  util::Stopwatch wall;
+  std::deque<std::future<exchange::ExchangeReport>> in_flight;
+  std::vector<exchange::ExchangeReport> reports;
+  reports.reserve(kRequests);
+  const auto drain_one = [&] {
+    reports.push_back(in_flight.front().get());
+    in_flight.pop_front();
+  };
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    const auto& file = payloads[i % payloads.size()];
+    exchange::ExchangeRequest req;
+    req.sequence.assign(file.data.begin(), file.data.end());
+    req.context = contexts[i % contexts.size()];
+    in_flight.push_back(service.submit(std::move(req)));
+    if (in_flight.size() >= kConcurrency) drain_one();
+  }
+  while (!in_flight.empty()) drain_one();
+
+  RunResult r;
+  r.fault_rate = fault_rate;
+  r.wall_ms = wall.elapsed_ms();
+  r.throughput_rps = r.wall_ms > 0
+                         ? 1000.0 * static_cast<double>(reports.size()) /
+                               r.wall_ms
+                         : 0.0;
+  std::vector<double> latencies;
+  latencies.reserve(reports.size());
+  for (const auto& rep : reports) {
+    if (rep.status != exchange::ExchangeStatus::kOk || !rep.verified) {
+      ++r.failures;
+    }
+    r.retries += rep.fault_trace.size();
+    latencies.push_back(rep.total_ms + rep.stages.queue_ms);
+  }
+  std::sort(latencies.begin(), latencies.end());
+  r.p50_ms = percentile(latencies, 0.50);
+  r.p99_ms = percentile(latencies, 0.99);
+  r.cache_hit_rate = service.stats().cache_hit_rate;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== exchange service under concurrent load ==\n");
+  std::printf("%zu requests, %zu concurrent in flight\n\n", kRequests,
+              kConcurrency);
+
+  std::vector<std::string> algorithms;
+  const auto model = train_selector(&algorithms);
+
+  sequence::CorpusOptions corpus_opts;
+  corpus_opts.synthetic_count = 24;
+  corpus_opts.max_size = 393216;
+  const auto payloads = sequence::build_corpus(corpus_opts);
+
+  std::vector<RunResult> results;
+  for (const double fault_rate : {0.0, 0.1}) {
+    results.push_back(run_load(model, algorithms, payloads, fault_rate));
+  }
+
+  util::TablePrinter tp({"fault rate", "wall ms", "req/s", "p50 ms", "p99 ms",
+                         "retries", "cache hits", "failures"});
+  for (const auto& r : results) {
+    tp.add_row({util::TablePrinter::pct(r.fault_rate, 0),
+                util::TablePrinter::num(r.wall_ms, 0),
+                util::TablePrinter::num(r.throughput_rps, 1),
+                util::TablePrinter::num(r.p50_ms, 1),
+                util::TablePrinter::num(r.p99_ms, 1),
+                std::to_string(r.retries),
+                util::TablePrinter::pct(r.cache_hit_rate, 0),
+                std::to_string(r.failures)});
+  }
+  tp.print(std::cout);
+
+  // ---- machine-readable record --------------------------------------
+  auto doc = util::JsonValue::object();
+  doc.set("requests", kRequests);
+  doc.set("concurrency", kConcurrency);
+  auto runs = util::JsonValue::array();
+  for (const auto& r : results) {
+    auto row = util::JsonValue::object();
+    row.set("fault_rate", r.fault_rate);
+    row.set("wall_ms", r.wall_ms);
+    row.set("throughput_rps", r.throughput_rps);
+    row.set("p50_ms", r.p50_ms);
+    row.set("p99_ms", r.p99_ms);
+    row.set("retries", r.retries);
+    row.set("cache_hit_rate", r.cache_hit_rate);
+    row.set("failures", r.failures);
+    runs.push(std::move(row));
+  }
+  doc.set("runs", std::move(runs));
+  std::ofstream json("BENCH_exchange.json", std::ios::binary);
+  json << doc.dump(2) << "\n";
+  json.close();
+  std::printf("\nwrote BENCH_exchange.json\n");
+
+  // ---- acceptance gate ----------------------------------------------
+  bool ok = true;
+  for (const auto& r : results) {
+    std::printf("[fault rate %.0f%%] %zu failures, %zu retries: ",
+                100.0 * r.fault_rate, r.failures, r.retries);
+    if (r.failures != 0) {
+      std::printf("FAIL (round-trip verification failed under load)\n");
+      ok = false;
+    } else if (r.fault_rate > 0.0 && r.retries == 0) {
+      std::printf("FAIL (faults injected but retry path never exercised)\n");
+      ok = false;
+    } else {
+      std::printf("PASS\n");
+    }
+  }
+  return ok ? 0 : 1;
+}

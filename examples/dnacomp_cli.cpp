@@ -8,6 +8,13 @@
 //   dnacomp_cli info <in.dcz>
 //   dnacomp_cli select [--bandwidth <mbps>] <in>
 //   dnacomp_cli measure <in>
+//   dnacomp_cli serve-sim [--requests N] [--concurrency K] [--fault-rate p]
+//
+// serve-sim drives the exchange::ExchangeService under concurrent load with
+// injected transfer faults and prints throughput / latency percentiles /
+// retry and cache statistics. By default it trains a small CART selector at
+// startup; --model loads a saved classifier JSON instead, --fallback skips
+// selection entirely (always DNAX).
 //
 // Every command accepts --metrics-json <path> (or --metrics-json=<path>):
 // on exit the process dumps its metrics registry (counters, histograms,
@@ -16,20 +23,26 @@
 // Compression input may be raw sequence text or FASTA; it is cleansed
 // automatically (the framework's Fig. 7 pipeline). Decompression emits pure
 // ACGT text.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <deque>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 
+#include "cloud/vm.h"
 #include "compressors/compressor.h"
 #include "compressors/container.h"
 #include "compressors/vertical/refcompress.h"
 #include "core/framework.h"
 #include "core/measurement.h"
+#include "exchange/service.h"
+#include "ml/persist.h"
 #include "obs/metrics.h"
 #include "sequence/cleanser.h"
+#include "sequence/corpus.h"
 #include "util/timer.h"
 
 using namespace dnacomp;
@@ -49,6 +62,11 @@ int usage() {
       "  dnacomp_cli info <in>\n"
       "  dnacomp_cli select [--bandwidth <mbps>] <in>\n"
       "  dnacomp_cli measure <in>\n"
+      "  dnacomp_cli serve-sim [--requests <n>] [--concurrency <k>]\n"
+      "                        [--fault-rate <p>] [--timeout-rate <p>]\n"
+      "                        [--seed <s>] [--model <in.json>]\n"
+      "                        [--save-model <out.json>] [--fallback]\n"
+      "                        [--dcb-threshold <bytes>]\n"
       "options:\n"
       "  --metrics-json <path>   dump the metrics registry as JSON on exit\n");
   return 2;
@@ -290,6 +308,156 @@ int cmd_select(double bandwidth_mbps, const std::string& in) {
   return 0;
 }
 
+// ------------------------------------------------------------- serve-sim
+
+struct ServeSimOptions {
+  std::size_t requests = 256;
+  std::size_t concurrency = 64;
+  double fault_rate = 0.1;
+  double timeout_rate = 0.0;
+  std::uint64_t seed = 1;
+  std::string model_path;       // load instead of training
+  std::string save_model_path;  // persist the trained/loaded model
+  bool fallback = false;        // no model: always DNAX
+  std::size_t dcb_threshold = 262144;
+};
+
+struct OwnedModel {
+  std::shared_ptr<ml::Classifier> model;  // null in fallback mode
+  std::vector<std::string> algorithms;
+};
+
+// Same pipeline as core::train_inference_engine, inlined so the CLI owns
+// the classifier (the engine keeps its model private) and can persist it.
+OwnedModel train_selector() {
+  core::AnalyticCostOracle oracle;
+  core::EngineTrainingOptions opts;
+  opts.corpus.synthetic_count = 40;
+  opts.corpus.max_size = 262144;
+  const auto corpus = sequence::build_corpus(opts.corpus);
+  const auto contexts = cloud::context_grid();
+  const auto rows =
+      core::run_experiments(corpus, contexts, oracle, opts.experiment);
+  const auto cells = core::label_cells(rows, opts.experiment.algorithms,
+                                       core::WeightSpec::total_time());
+  const auto split = sequence::split_corpus(corpus.size());
+  const auto tables =
+      core::make_tables(cells, opts.experiment.algorithms, split.test);
+  auto fit = core::fit_and_evaluate(opts.method, tables);
+  return {std::shared_ptr<ml::Classifier>(std::move(fit.model)),
+          opts.experiment.algorithms};
+}
+
+double percentile(std::vector<double> sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+int cmd_serve_sim(const ServeSimOptions& sim) {
+  // Load generator payloads: a deterministic synthetic corpus, cycled so
+  // repeated content exercises the artifact cache.
+  sequence::CorpusOptions corpus_opts;
+  corpus_opts.synthetic_count = 24;
+  corpus_opts.max_size = 393216;
+  const auto corpus = sequence::build_corpus(corpus_opts);
+  const auto contexts = cloud::context_grid();
+
+  OwnedModel selector;
+  if (sim.fallback) {
+    selector.algorithms = {"dnax"};
+    std::printf("selector: none (always dnax)\n");
+  } else if (!sim.model_path.empty()) {
+    selector.model = std::shared_ptr<ml::Classifier>(
+        ml::load_classifier(sim.model_path));
+    selector.algorithms = selector.model->class_names();
+    std::printf("selector: %s loaded from %s (%zu nodes)\n",
+                selector.model->method_name().c_str(), sim.model_path.c_str(),
+                selector.model->node_count());
+  } else {
+    util::Stopwatch sw;
+    selector = train_selector();
+    std::printf("selector: %s trained in %.0f ms (%zu nodes)\n",
+                selector.model->method_name().c_str(), sw.elapsed_ms(),
+                selector.model->node_count());
+  }
+  if (!sim.save_model_path.empty() && selector.model != nullptr) {
+    ml::save_classifier(*selector.model, sim.save_model_path);
+    std::printf("selector saved to %s\n", sim.save_model_path.c_str());
+  }
+
+  cloud::BlobStore store;
+  exchange::ExchangeServiceOptions opts;
+  opts.max_pending = sim.concurrency;
+  opts.dcb_threshold_bytes = sim.dcb_threshold;
+  opts.faults.drop_probability = sim.fault_rate;
+  opts.faults.timeout_probability = sim.timeout_rate;
+  opts.faults.seed = sim.seed;
+  exchange::ExchangeService service(store, selector.model,
+                                    selector.algorithms, opts);
+
+  std::printf(
+      "serve-sim: %zu requests, %zu concurrent, fault rate %.0f%%, seed "
+      "%llu\n",
+      sim.requests, sim.concurrency, 100.0 * sim.fault_rate,
+      static_cast<unsigned long long>(sim.seed));
+
+  util::Stopwatch wall;
+  std::deque<std::future<exchange::ExchangeReport>> in_flight;
+  std::vector<exchange::ExchangeReport> reports;
+  reports.reserve(sim.requests);
+  const auto drain_one = [&] {
+    reports.push_back(in_flight.front().get());
+    in_flight.pop_front();
+  };
+  for (std::size_t i = 0; i < sim.requests; ++i) {
+    const auto& file = corpus[i % corpus.size()];
+    exchange::ExchangeRequest req;
+    req.sequence.assign(file.data.begin(), file.data.end());
+    req.context = contexts[i % contexts.size()];
+    in_flight.push_back(service.submit(std::move(req)));
+    if (in_flight.size() >= sim.concurrency) drain_one();
+  }
+  while (!in_flight.empty()) drain_one();
+  const double wall_ms = wall.elapsed_ms();
+
+  std::size_t ok = 0, failures = 0, retries = 0;
+  std::vector<double> latencies;
+  latencies.reserve(reports.size());
+  for (const auto& r : reports) {
+    if (r.status == exchange::ExchangeStatus::kOk && r.verified) {
+      ++ok;
+    } else {
+      ++failures;
+      std::fprintf(stderr, "request %llu: %s\n",
+                   static_cast<unsigned long long>(r.request_id),
+                   std::string(exchange::status_name(r.status)).c_str());
+    }
+    retries += r.fault_trace.size();
+    latencies.push_back(r.total_ms + r.stages.queue_ms);
+  }
+  std::sort(latencies.begin(), latencies.end());
+  const auto stats = service.stats();
+
+  std::printf("completed %zu/%zu ok (%zu failed) in %.0f ms — %.1f req/s\n",
+              ok, reports.size(), failures, wall_ms,
+              wall_ms > 0 ? 1000.0 * static_cast<double>(reports.size()) /
+                                wall_ms
+                          : 0.0);
+  std::printf("latency: p50 %.1f ms, p99 %.1f ms\n",
+              percentile(latencies, 0.50), percentile(latencies, 0.99));
+  std::printf("retries: %zu faulted attempts across %zu requests\n", retries,
+              reports.size());
+  std::printf("cache: %zu hits / %zu misses (%.0f%% hit rate), %zu bytes\n",
+              stats.cache_hits, stats.cache_misses,
+              100.0 * stats.cache_hit_rate, stats.cache_bytes);
+  std::printf("store: %zu blobs, %zu bytes\n",
+              store.list_blobs(service.options().container).size(),
+              store.total_bytes());
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -300,6 +468,7 @@ int main(int argc, char** argv) {
     double bandwidth = 8.0;
     bool blocked = false;
     std::size_t block_bytes = compressors::kDcbDefaultBlockBytes;
+    ServeSimOptions sim;
     std::vector<std::string> positional;
     for (int i = 2; i < argc; ++i) {
       const std::string arg = argv[i];
@@ -313,6 +482,24 @@ int main(int argc, char** argv) {
         blocked = true;
       } else if (arg == "--block-size" && i + 1 < argc) {
         block_bytes = static_cast<std::size_t>(std::stoull(argv[++i]));
+      } else if (arg == "--requests" && i + 1 < argc) {
+        sim.requests = static_cast<std::size_t>(std::stoull(argv[++i]));
+      } else if (arg == "--concurrency" && i + 1 < argc) {
+        sim.concurrency = static_cast<std::size_t>(std::stoull(argv[++i]));
+      } else if (arg == "--fault-rate" && i + 1 < argc) {
+        sim.fault_rate = std::stod(argv[++i]);
+      } else if (arg == "--timeout-rate" && i + 1 < argc) {
+        sim.timeout_rate = std::stod(argv[++i]);
+      } else if (arg == "--seed" && i + 1 < argc) {
+        sim.seed = std::stoull(argv[++i]);
+      } else if (arg == "--model" && i + 1 < argc) {
+        sim.model_path = argv[++i];
+      } else if (arg == "--save-model" && i + 1 < argc) {
+        sim.save_model_path = argv[++i];
+      } else if (arg == "--fallback") {
+        sim.fallback = true;
+      } else if (arg == "--dcb-threshold" && i + 1 < argc) {
+        sim.dcb_threshold = static_cast<std::size_t>(std::stoull(argv[++i]));
       } else if (arg == "--metrics-json" && i + 1 < argc) {
         metrics_json = argv[++i];
       } else if (arg.rfind("--metrics-json=", 0) == 0) {
@@ -341,6 +528,9 @@ int main(int argc, char** argv) {
       }
       if (cmd == "measure" && positional.size() == 1) {
         return cmd_measure(positional[0]);
+      }
+      if (cmd == "serve-sim" && positional.empty()) {
+        return cmd_serve_sim(sim);
       }
       return usage();
     };

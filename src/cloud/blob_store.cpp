@@ -97,7 +97,9 @@ bool BlobStore::delete_blob(const std::string& container,
   std::lock_guard lk(mu_);
   auto it = containers_.find(container);
   if (it == containers_.end()) return false;
-  return it->second.blobs.erase(blob) > 0;
+  const bool had_committed = it->second.blobs.erase(blob) > 0;
+  const bool had_staged = it->second.staged.erase(blob) > 0;
+  return had_committed || had_staged;
 }
 
 std::vector<std::string> BlobStore::list_blobs(

@@ -34,7 +34,10 @@ class BlobStore {
   std::vector<std::string> list_containers() const;
 
   // Single-shot upload: stages ceil(size / kBlockSize) blocks and commits.
-  // Throws std::runtime_error if the container does not exist.
+  // Re-putting an existing blob replaces its blocks atomically and updates
+  // its properties (Azure overwrite semantics); readers never observe a
+  // partial mix of old and new data. Throws std::runtime_error if the
+  // container does not exist.
   void put_blob(const std::string& container, const std::string& blob,
                 std::span<const std::uint8_t> data);
 
@@ -49,6 +52,9 @@ class BlobStore {
       const std::string& container, const std::string& blob) const;
   std::optional<BlobProperties> get_properties(const std::string& container,
                                                const std::string& blob) const;
+  // Removes the committed blob and any blocks staged under its name (Azure
+  // deletes the uncommitted block list along with the blob). Returns false
+  // when neither existed.
   bool delete_blob(const std::string& container, const std::string& blob);
   std::vector<std::string> list_blobs(const std::string& container) const;
 

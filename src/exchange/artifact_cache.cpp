@@ -1,0 +1,99 @@
+#include "exchange/artifact_cache.h"
+
+namespace dnacomp::exchange {
+
+std::uint64_t content_hash(std::span<const std::uint8_t> data) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const std::uint8_t b : data) {
+    h ^= b;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::size_t ArtifactKeyHash::operator()(const ArtifactKey& k) const noexcept {
+  std::uint64_t h = k.hash ^ (k.block_bytes * 0x9e3779b97f4a7c15ULL);
+  for (const char c : k.codec) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return static_cast<std::size_t>(h);
+}
+
+ArtifactCache::ArtifactCache(std::size_t capacity_bytes)
+    : capacity_bytes_(capacity_bytes) {}
+
+ArtifactPayload ArtifactCache::get(const ArtifactKey& key) {
+  std::lock_guard lk(mu_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  return it->second->payload;
+}
+
+void ArtifactCache::put(const ArtifactKey& key, ArtifactPayload payload) {
+  if (payload == nullptr) return;
+  const std::size_t payload_bytes = payload->size();
+  if (payload_bytes > capacity_bytes_) return;  // would evict everything
+  std::lock_guard lk(mu_);
+  if (const auto it = index_.find(key); it != index_.end()) {
+    bytes_ -= it->second->payload->size();
+    bytes_ += payload_bytes;
+    it->second->payload = std::move(payload);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    evict_to_fit_locked();
+    return;
+  }
+  lru_.push_front(Entry{key, std::move(payload)});
+  index_.emplace(key, lru_.begin());
+  bytes_ += payload_bytes;
+  evict_to_fit_locked();
+}
+
+void ArtifactCache::evict_to_fit_locked() {
+  while (bytes_ > capacity_bytes_ && !lru_.empty()) {
+    const Entry& victim = lru_.back();
+    bytes_ -= victim.payload->size();
+    index_.erase(victim.key);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+std::size_t ArtifactCache::hits() const {
+  std::lock_guard lk(mu_);
+  return hits_;
+}
+
+std::size_t ArtifactCache::misses() const {
+  std::lock_guard lk(mu_);
+  return misses_;
+}
+
+std::size_t ArtifactCache::evictions() const {
+  std::lock_guard lk(mu_);
+  return evictions_;
+}
+
+std::size_t ArtifactCache::entries() const {
+  std::lock_guard lk(mu_);
+  return lru_.size();
+}
+
+std::size_t ArtifactCache::size_bytes() const {
+  std::lock_guard lk(mu_);
+  return bytes_;
+}
+
+double ArtifactCache::hit_rate() const {
+  std::lock_guard lk(mu_);
+  const std::size_t total = hits_ + misses_;
+  return total == 0 ? 0.0
+                    : static_cast<double>(hits_) / static_cast<double>(total);
+}
+
+}  // namespace dnacomp::exchange

@@ -1,0 +1,83 @@
+// LRU cache of compression artifacts, keyed by (content hash, codec,
+// container geometry). Repeat uploads of identical content skip the whole
+// compress stage — the dominant cost for every codec except gzip — and reuse
+// the cached stream. Entries are immutable shared_ptrs, so a hit costs one
+// map lookup + refcount bump and evictions never invalidate a payload a
+// request is still uploading.
+//
+// Keying on the *content hash* (not the blob name) means two tenants
+// uploading the same reference genome share one artifact, while the codec
+// and block-size components keep a monolithic dnax stream from ever being
+// served where a DCB-blocked one was requested.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace dnacomp::exchange {
+
+// 64-bit FNV-1a over the plaintext; cheap, stable across runs, and collision
+// risk is negligible at the corpus sizes this cache sees (it is a cache key,
+// not an integrity check — CRC verification still happens downstream).
+std::uint64_t content_hash(std::span<const std::uint8_t> data) noexcept;
+
+struct ArtifactKey {
+  std::uint64_t hash = 0;      // content_hash of the plaintext
+  std::string codec;           // registry name ("dnax", ...)
+  std::uint64_t block_bytes = 0;  // DCB block size; 0 = monolithic stream
+
+  bool operator==(const ArtifactKey&) const = default;
+};
+
+struct ArtifactKeyHash {
+  std::size_t operator()(const ArtifactKey& k) const noexcept;
+};
+
+using ArtifactPayload = std::shared_ptr<const std::vector<std::uint8_t>>;
+
+class ArtifactCache {
+ public:
+  // capacity_bytes bounds the sum of cached payload sizes; 0 disables
+  // caching entirely (every get misses, puts are dropped).
+  explicit ArtifactCache(std::size_t capacity_bytes);
+
+  // nullptr on miss. A hit refreshes the entry's LRU position.
+  ArtifactPayload get(const ArtifactKey& key);
+
+  // Inserts (or refreshes) and evicts least-recently-used entries until the
+  // byte budget holds. Payloads larger than the whole budget are not cached.
+  void put(const ArtifactKey& key, ArtifactPayload payload);
+
+  std::size_t hits() const;
+  std::size_t misses() const;
+  std::size_t evictions() const;
+  std::size_t entries() const;
+  std::size_t size_bytes() const;
+  double hit_rate() const;  // hits / (hits + misses), 0 when no lookups
+
+ private:
+  struct Entry {
+    ArtifactKey key;
+    ArtifactPayload payload;
+  };
+
+  void evict_to_fit_locked();
+
+  const std::size_t capacity_bytes_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<ArtifactKey, std::list<Entry>::iterator, ArtifactKeyHash>
+      index_;
+  std::size_t bytes_ = 0;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+  std::size_t evictions_ = 0;
+};
+
+}  // namespace dnacomp::exchange

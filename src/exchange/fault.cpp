@@ -1,0 +1,81 @@
+#include "exchange/fault.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dnacomp::exchange {
+namespace {
+
+// splitmix64 finalizer — the standard 64-bit avalanche mix.
+std::uint64_t mix64(std::uint64_t z) noexcept {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t hash_str(std::string_view s) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+// Counter-based uniform in [0, 1): one mixed draw per (seed, id, stage,
+// attempt, salt) tuple. 53-bit mantissa from the top bits.
+double uniform01(std::uint64_t seed, std::uint64_t request_id,
+                 std::string_view stage, std::size_t attempt,
+                 std::uint64_t salt) noexcept {
+  std::uint64_t h = mix64(seed ^ 0x6a09e667f3bcc908ULL);
+  h = mix64(h ^ request_id);
+  h = mix64(h ^ hash_str(stage));
+  h = mix64(h ^ static_cast<std::uint64_t>(attempt));
+  h = mix64(h ^ salt);
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+std::string_view fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kDrop: return "drop";
+    case FaultKind::kTimeout: return "timeout";
+  }
+  return "?";
+}
+
+FaultKind FaultPolicy::evaluate(std::uint64_t request_id,
+                                std::string_view stage,
+                                std::size_t attempt) const noexcept {
+  if (p_.drop_probability > 0.0 &&
+      uniform01(p_.seed, request_id, stage, attempt, 1) <
+          p_.drop_probability) {
+    return FaultKind::kDrop;
+  }
+  if (p_.timeout_probability > 0.0 &&
+      uniform01(p_.seed, request_id, stage, attempt, 2) <
+          p_.timeout_probability) {
+    return FaultKind::kTimeout;
+  }
+  return FaultKind::kNone;
+}
+
+double backoff_delay_ms(const RetryParams& params, std::uint64_t seed,
+                        std::uint64_t request_id, std::string_view stage,
+                        std::size_t attempt) noexcept {
+  if (attempt < 2) return 0.0;
+  const double exponent = static_cast<double>(attempt - 2);
+  const double raw =
+      params.base_delay_ms * std::pow(params.multiplier, exponent);
+  const double capped = std::min(raw, params.max_delay_ms);
+  // Jitter in [-j, +j) around the capped delay, never below zero.
+  const double u = uniform01(seed, request_id, stage, attempt, 3);
+  const double jittered =
+      capped * (1.0 + params.jitter * (2.0 * u - 1.0));
+  return std::max(0.0, jittered);
+}
+
+}  // namespace dnacomp::exchange

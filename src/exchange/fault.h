@@ -1,0 +1,69 @@
+// Fault injection and retry policy for the exchange service's transfer path.
+//
+// FaultPolicy decides whether a given transfer attempt fails (packet drop or
+// request timeout against the simulated storage account). Decisions are a
+// pure function of (seed, request id, stage, attempt) — a counter-based RNG
+// rather than a shared stream — so outcomes are independent of thread
+// schedule and submission order: replaying the same request ids under the
+// same seed yields byte-identical retry traces no matter the concurrency.
+//
+// RetryParams shapes the classic exponential-backoff-with-jitter loop the
+// service runs around each faulted stage; the jittered delay is derived from
+// the same counter-based construction and is therefore just as reproducible.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace dnacomp::exchange {
+
+enum class FaultKind : std::uint8_t {
+  kNone = 0,
+  kDrop,     // attempt fails immediately (connection reset / lost packet)
+  kTimeout,  // attempt fails after a simulated hang
+};
+
+std::string_view fault_kind_name(FaultKind kind);
+
+struct FaultPolicyParams {
+  // Per-attempt probabilities; evaluated independently, drop first.
+  double drop_probability = 0.0;
+  double timeout_probability = 0.0;
+  // Simulated time a timed-out attempt wastes before failing (charged to the
+  // request's simulated stage time, not slept).
+  double timeout_penalty_ms = 100.0;
+  std::uint64_t seed = 1;
+};
+
+class FaultPolicy {
+ public:
+  explicit FaultPolicy(FaultPolicyParams params = {}) : p_(params) {}
+
+  // The outcome for transfer attempt `attempt` (1-based) of `stage`
+  // ("upload"/"download") of request `request_id`.
+  FaultKind evaluate(std::uint64_t request_id, std::string_view stage,
+                     std::size_t attempt) const noexcept;
+
+  const FaultPolicyParams& params() const noexcept { return p_; }
+
+ private:
+  FaultPolicyParams p_;
+};
+
+struct RetryParams {
+  std::size_t max_attempts = 5;   // total tries, not re-tries
+  double base_delay_ms = 2.0;     // backoff before attempt 2
+  double multiplier = 2.0;        // exponential growth per attempt
+  double max_delay_ms = 50.0;     // cap before jitter
+  double jitter = 0.5;            // +- fraction of the capped delay
+};
+
+// The real (slept) backoff before attempt `attempt` (>= 2) of `stage`.
+// Deterministic in all arguments; jitter comes from the same counter-based
+// hash as FaultPolicy so a seed fixes the whole retry trace.
+double backoff_delay_ms(const RetryParams& params, std::uint64_t seed,
+                        std::uint64_t request_id, std::string_view stage,
+                        std::size_t attempt) noexcept;
+
+}  // namespace dnacomp::exchange

@@ -1,0 +1,353 @@
+#include "exchange/service.h"
+
+#include <array>
+#include <cstdio>
+#include <stdexcept>
+#include <thread>
+
+#include "compressors/compressor.h"
+#include "obs/metrics.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace dnacomp::exchange {
+namespace {
+
+// Latency histogram buckets (milliseconds), shared by the per-stage and
+// total-latency histograms.
+constexpr std::array<double, 12> kLatencyBounds = {
+    0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 5000};
+
+std::string hex16(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+double elapsed_ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+std::string_view status_name(ExchangeStatus s) {
+  switch (s) {
+    case ExchangeStatus::kOk: return "ok";
+    case ExchangeStatus::kRejected: return "rejected";
+    case ExchangeStatus::kFailedUpload: return "failed_upload";
+    case ExchangeStatus::kFailedDownload: return "failed_download";
+    case ExchangeStatus::kVerifyFailed: return "verify_failed";
+  }
+  return "?";
+}
+
+ExchangeService::ExchangeService(cloud::BlobStore& store,
+                                 std::shared_ptr<ml::Classifier> model,
+                                 std::vector<std::string> algorithms,
+                                 ExchangeServiceOptions options)
+    : store_(&store),
+      transfer_(options.transfer),
+      faults_(options.faults),
+      cache_(options.cache_bytes),
+      opts_(std::move(options)),
+      default_model_(std::move(model)),
+      algorithms_(std::move(algorithms)),
+      dcb_pool_(opts_.dcb_threads),
+      pool_(opts_.threads) {
+  DC_CHECK(opts_.max_pending >= 1);
+  DC_CHECK(opts_.retry.max_attempts >= 1);
+  DC_CHECK(opts_.dcb_block_bytes >= 1);
+  if (default_model_ != nullptr) DC_CHECK(!algorithms_.empty());
+  store_->create_container(opts_.container);
+}
+
+ExchangeService::~ExchangeService() = default;
+
+void ExchangeService::add_model(const std::string& weight_profile,
+                                std::shared_ptr<ml::Classifier> model) {
+  DC_CHECK(model != nullptr);
+  DC_CHECK(!algorithms_.empty());
+  std::lock_guard lk(models_mu_);
+  profile_models_[weight_profile] = std::move(model);
+}
+
+std::future<ExchangeReport> ExchangeService::submit(ExchangeRequest request) {
+  auto prom = std::make_shared<std::promise<ExchangeReport>>();
+  auto fut = prom->get_future();
+  const std::uint64_t id = next_id_.fetch_add(1) + 1;
+  auto& reg = obs::MetricsRegistry::global();
+
+  // Admission: optimistic increment, roll back over the bound. The bound is
+  // on *in-flight* requests (queued or running); rejected submissions never
+  // touch the pool.
+  const std::size_t depth = pending_.fetch_add(1) + 1;
+  if (depth > opts_.max_pending) {
+    pending_.fetch_sub(1);
+    rejected_.fetch_add(1);
+    if (reg.enabled()) reg.counter("exchange.rejected").add(1);
+    ExchangeReport rep;
+    rep.request_id = id;
+    rep.status = ExchangeStatus::kRejected;
+    rep.raw_bytes = request.sequence.size();
+    prom->set_value(std::move(rep));
+    return fut;
+  }
+  accepted_.fetch_add(1);
+  if (reg.enabled()) {
+    reg.counter("exchange.accepted").add(1);
+    reg.gauge("exchange.queue_depth").add(1);
+  }
+
+  const auto enqueued = std::chrono::steady_clock::now();
+  auto req = std::make_shared<ExchangeRequest>(std::move(request));
+  pool_.submit([this, prom, req, id, enqueued] {
+    ExchangeReport rep;
+    try {
+      rep = process(id, *req, enqueued);
+    } catch (...) {
+      pending_.fetch_sub(1);
+      auto& r = obs::MetricsRegistry::global();
+      if (r.enabled()) r.gauge("exchange.queue_depth").add(-1);
+      prom->set_exception(std::current_exception());
+      return;
+    }
+    pending_.fetch_sub(1);
+    auto& r = obs::MetricsRegistry::global();
+    if (r.enabled()) r.gauge("exchange.queue_depth").add(-1);
+    prom->set_value(std::move(rep));
+  });
+  return fut;
+}
+
+ExchangeReport ExchangeService::run(ExchangeRequest request) {
+  return submit(std::move(request)).get();
+}
+
+std::string ExchangeService::select_codec(const ExchangeRequest& req,
+                                          double* select_ms) {
+  const util::Stopwatch sw;
+  std::shared_ptr<ml::Classifier> model = default_model_;
+  if (!req.weight_profile.empty()) {
+    std::lock_guard lk(models_mu_);
+    if (const auto it = profile_models_.find(req.weight_profile);
+        it != profile_models_.end()) {
+      model = it->second;
+    }
+  }
+  std::string codec;
+  if (model == nullptr) {
+    codec = opts_.fallback_codec;
+  } else {
+    const std::array<double, 4> features = {
+        req.context.ram_gb, req.context.cpu_ghz, req.context.bandwidth_mbps,
+        static_cast<double>(req.sequence.size()) / 1024.0};
+    const int cls = model->predict(features);
+    DC_CHECK(cls >= 0 && static_cast<std::size_t>(cls) < algorithms_.size());
+    codec = algorithms_[static_cast<std::size_t>(cls)];
+  }
+  *select_ms = sw.elapsed_ms();
+  return codec;
+}
+
+bool ExchangeService::run_with_retries(
+    std::uint64_t id, const char* stage,
+    const std::function<double()>& attempt_once, std::size_t* attempts,
+    double* simulated_ms, std::vector<std::string>* trace) {
+  auto& reg = obs::MetricsRegistry::global();
+  for (std::size_t attempt = 1; attempt <= opts_.retry.max_attempts;
+       ++attempt) {
+    *attempts = attempt;
+    if (attempt >= 2) {
+      const double delay = backoff_delay_ms(opts_.retry, opts_.faults.seed,
+                                            id, stage, attempt);
+      if (delay > 0.0) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(delay));
+      }
+    }
+    const FaultKind fault = faults_.evaluate(id, stage, attempt);
+    if (fault == FaultKind::kNone) {
+      *simulated_ms += attempt_once();
+      return true;
+    }
+    // Faulted attempt: a timeout wastes its full simulated hang; a drop
+    // fails fast. Either way the work is retried from scratch.
+    if (fault == FaultKind::kTimeout) {
+      *simulated_ms += opts_.faults.timeout_penalty_ms;
+    }
+    trace->push_back(std::string(stage) + "#" + std::to_string(attempt) +
+                     ":" + std::string(fault_kind_name(fault)));
+    retries_.fetch_add(1);
+    if (reg.enabled()) {
+      reg.counter("exchange.retries").add(1);
+      reg.counter(std::string("exchange.faults.") +
+                  std::string(fault_kind_name(fault)))
+          .add(1);
+    }
+  }
+  return false;
+}
+
+ExchangeReport ExchangeService::process(
+    std::uint64_t id, const ExchangeRequest& req,
+    std::chrono::steady_clock::time_point enqueued) {
+  auto& reg = obs::MetricsRegistry::global();
+  const obs::ScopedSpan span("exchange.request");
+  const util::Stopwatch total_sw;
+
+  ExchangeReport rep;
+  rep.request_id = id;
+  rep.raw_bytes = req.sequence.size();
+  rep.stages.queue_ms = elapsed_ms_since(enqueued);
+  if (reg.enabled()) {
+    reg.histogram("exchange.queue_ms", kLatencyBounds)
+        .observe(rep.stages.queue_ms);
+  }
+
+  // ---- select ---------------------------------------------------------
+  {
+    const obs::ScopedSpan s("select");
+    rep.codec = select_codec(req, &rep.stages.select_ms);
+  }
+  rep.content_hash = content_hash(req.sequence);
+  rep.blocked = req.sequence.size() >= opts_.dcb_threshold_bytes;
+  rep.blob_name = req.blob_name.empty()
+                      ? "obj-" + hex16(rep.content_hash) + "." + rep.codec
+                      : req.blob_name;
+
+  // ---- compress (or cache) -------------------------------------------
+  const ArtifactKey key{rep.content_hash, rep.codec,
+                        rep.blocked ? opts_.dcb_block_bytes : 0};
+  ArtifactPayload payload = cache_.get(key);
+  rep.cache_hit = payload != nullptr;
+  const auto codec = compressors::make_compressor(rep.codec);
+  DC_CHECK_MSG(codec != nullptr, "unknown codec: " + rep.codec);
+  if (!rep.cache_hit) {
+    const obs::ScopedSpan s("compress");
+    const util::Stopwatch sw;
+    std::vector<std::uint8_t> stream =
+        rep.blocked ? compressors::compress_blocked(*codec, req.sequence,
+                                                    dcb_pool_,
+                                                    opts_.dcb_block_bytes)
+                    : codec->compress(req.sequence);
+    rep.stages.compress_ms = sw.elapsed_ms();
+    payload = std::make_shared<const std::vector<std::uint8_t>>(
+        std::move(stream));
+    cache_.put(key, payload);
+  }
+  rep.payload_bytes = payload->size();
+  if (reg.enabled()) {
+    reg.counter(rep.cache_hit ? "exchange.cache.hits"
+                              : "exchange.cache.misses")
+        .add(1);
+  }
+
+  const std::size_t n_blocks =
+      rep.blocked ? (req.sequence.size() + opts_.dcb_block_bytes - 1) /
+                        opts_.dcb_block_bytes
+                  : 1;
+
+  // ---- upload (retries) ----------------------------------------------
+  {
+    const obs::ScopedSpan s("upload");
+    const util::Stopwatch sw;
+    const bool ok = run_with_retries(
+        id, "upload",
+        [&] {
+          store_->put_blob(opts_.container, rep.blob_name, *payload);
+          return rep.blocked
+                     ? transfer_.upload_time_blocked_ms(
+                           payload->size(), n_blocks, req.context)
+                     : transfer_.upload_time_ms(payload->size(), req.context);
+        },
+        &rep.upload_attempts, &rep.simulated_upload_ms, &rep.fault_trace);
+    rep.stages.upload_ms = sw.elapsed_ms();
+    if (!ok) {
+      rep.status = ExchangeStatus::kFailedUpload;
+      rep.total_ms = total_sw.elapsed_ms();
+      failed_.fetch_add(1);
+      if (reg.enabled()) reg.counter("exchange.failed").add(1);
+      return rep;
+    }
+  }
+
+  // ---- download (retries) --------------------------------------------
+  std::vector<std::uint8_t> downloaded;
+  {
+    const obs::ScopedSpan s("download");
+    const util::Stopwatch sw;
+    const bool ok = run_with_retries(
+        id, "download",
+        [&] {
+          auto blob = store_->get_blob(opts_.container, rep.blob_name);
+          DC_CHECK_MSG(blob.has_value(),
+                       "uploaded blob vanished: " + rep.blob_name);
+          downloaded = std::move(*blob);
+          return rep.blocked ? transfer_.download_time_blocked_ms(
+                                   downloaded.size(), n_blocks)
+                             : transfer_.download_time_ms(downloaded.size());
+        },
+        &rep.download_attempts, &rep.simulated_download_ms, &rep.fault_trace);
+    rep.stages.download_ms = sw.elapsed_ms();
+    if (!ok) {
+      rep.status = ExchangeStatus::kFailedDownload;
+      rep.total_ms = total_sw.elapsed_ms();
+      failed_.fetch_add(1);
+      if (reg.enabled()) reg.counter("exchange.failed").add(1);
+      return rep;
+    }
+  }
+
+  // ---- decompress + verify -------------------------------------------
+  std::vector<std::uint8_t> restored;
+  {
+    const obs::ScopedSpan s("decompress");
+    const util::Stopwatch sw;
+    restored = compressors::is_dcb_stream(downloaded)
+                   ? compressors::decompress_blocked(*codec, downloaded,
+                                                     dcb_pool_)
+                   : codec->decompress(downloaded);
+    rep.stages.decompress_ms = sw.elapsed_ms();
+  }
+  {
+    const obs::ScopedSpan s("verify");
+    const util::Stopwatch sw;
+    rep.verified = restored == req.sequence;
+    rep.stages.verify_ms = sw.elapsed_ms();
+  }
+  rep.status =
+      rep.verified ? ExchangeStatus::kOk : ExchangeStatus::kVerifyFailed;
+  rep.total_ms = total_sw.elapsed_ms();
+
+  if (rep.verified) {
+    completed_.fetch_add(1);
+  } else {
+    failed_.fetch_add(1);
+  }
+  if (reg.enabled()) {
+    reg.counter(rep.verified ? "exchange.completed" : "exchange.failed")
+        .add(1);
+    reg.histogram("exchange.total_ms", kLatencyBounds).observe(rep.total_ms);
+  }
+  return rep;
+}
+
+ExchangeServiceStats ExchangeService::stats() const {
+  ExchangeServiceStats s;
+  s.accepted = accepted_.load();
+  s.rejected = rejected_.load();
+  s.completed = completed_.load();
+  s.failed = failed_.load();
+  s.retries = retries_.load();
+  s.cache_hits = cache_.hits();
+  s.cache_misses = cache_.misses();
+  s.cache_hit_rate = cache_.hit_rate();
+  s.cache_bytes = cache_.size_bytes();
+  s.in_flight = pending_.load();
+  return s;
+}
+
+}  // namespace dnacomp::exchange

@@ -1,0 +1,200 @@
+// ExchangeService — the runtime the rest of the repo trains for.
+//
+// The paper's framework picks a compressor from the client's context and
+// ships the file; src/ml learns the selector and src/cloud simulates the
+// storage account. This module is the serving layer that actually drives the
+// whole pipeline under load, per request:
+//
+//   submit ──▶ [admission queue] ──▶ select ─▶ compress ─▶ upload ─▶
+//              (bounded, reject)     (ml)      (cache/DCB) (retry)
+//          ◀── verify ◀─ decompress ◀─ download (retry) ◀──┘
+//
+// Mechanics:
+//  * Multi-tenant codec selection: a default ml::Classifier plus optional
+//    per-weight-profile models; requests name a profile, unknown profiles
+//    fall back to the default, and with no model at all the service always
+//    picks DNAX (the paper's headline winner).
+//  * Bounded admission: at most max_pending requests in flight; beyond that
+//    submit() completes immediately with kRejected — backpressure by status,
+//    never by blocking the caller.
+//  * DCB blocking: inputs at or above dcb_threshold_bytes compress through
+//    the parallel block container (own pool, so pipeline workers never wait
+//    on themselves).
+//  * Retry with exponential backoff + jitter around upload/download against
+//    an injectable FaultPolicy; all randomness is counter-based, so a seed
+//    fixes every retry trace regardless of thread schedule.
+//  * LRU artifact cache keyed by (content hash, codec, block size): repeat
+//    uploads skip recompression.
+//  * Per-request ExchangeReport plus src/obs instrumentation: queue depth,
+//    retries, cache hit rate, per-stage latency spans and histograms.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cloud/blob_store.h"
+#include "cloud/transfer_model.h"
+#include "cloud/vm.h"
+#include "compressors/container.h"
+#include "exchange/artifact_cache.h"
+#include "exchange/fault.h"
+#include "ml/tree.h"
+#include "util/thread_pool.h"
+
+namespace dnacomp::exchange {
+
+struct ExchangeRequest {
+  std::vector<std::uint8_t> sequence;  // cleansed ACGT bytes
+  cloud::VmSpec context;               // client RAM / CPU / bandwidth
+  std::string weight_profile;          // tenant model key; "" = default
+  std::string blob_name;               // "" = content-addressed name
+};
+
+enum class ExchangeStatus : std::uint8_t {
+  kOk = 0,
+  kRejected,        // admission queue full; nothing ran
+  kFailedUpload,    // upload retries exhausted; store untouched
+  kFailedDownload,  // download retries exhausted
+  kVerifyFailed,    // round trip produced different bytes
+};
+
+std::string_view status_name(ExchangeStatus s);
+
+struct StageBreakdown {
+  double queue_ms = 0.0;       // admission -> worker pickup
+  double select_ms = 0.0;
+  double compress_ms = 0.0;    // 0 on cache hit
+  double upload_ms = 0.0;      // wall time incl. backoff sleeps
+  double download_ms = 0.0;    // wall time incl. backoff sleeps
+  double decompress_ms = 0.0;
+  double verify_ms = 0.0;
+};
+
+struct ExchangeReport {
+  std::uint64_t request_id = 0;
+  ExchangeStatus status = ExchangeStatus::kOk;
+  std::string codec;           // chosen by the selector ("" when rejected)
+  std::string blob_name;
+  bool blocked = false;        // DCB container used
+  bool cache_hit = false;
+  std::uint64_t content_hash = 0;
+  std::size_t raw_bytes = 0;
+  std::size_t payload_bytes = 0;
+  std::size_t upload_attempts = 0;
+  std::size_t download_attempts = 0;
+  // One entry per faulted attempt, e.g. "upload#2:drop" — identical across
+  // runs for a fixed FaultPolicy seed.
+  std::vector<std::string> fault_trace;
+  StageBreakdown stages;
+  double simulated_upload_ms = 0.0;    // TransferModel projection
+  double simulated_download_ms = 0.0;  // TransferModel projection
+  double total_ms = 0.0;               // wall time inside the worker
+  bool verified = false;
+};
+
+struct ExchangeServiceOptions {
+  std::size_t threads = 0;        // pipeline workers; 0 = hw concurrency
+  std::size_t dcb_threads = 0;    // DCB block pool; 0 = hw concurrency
+  std::size_t max_pending = 256;  // admission bound (in-flight requests)
+  std::size_t dcb_threshold_bytes = 1 << 20;
+  std::size_t dcb_block_bytes = compressors::kDcbDefaultBlockBytes;
+  std::size_t cache_bytes = std::size_t{64} << 20;
+  std::string container = "exchange";
+  std::string fallback_codec = "dnax";
+  RetryParams retry;
+  FaultPolicyParams faults;
+  cloud::TransferModelParams transfer;
+};
+
+// Aggregate counters for operators; all values monotonically increasing
+// except cache gauges.
+struct ExchangeServiceStats {
+  std::size_t accepted = 0;
+  std::size_t rejected = 0;
+  std::size_t completed = 0;  // kOk outcomes
+  std::size_t failed = 0;     // kFailed*/kVerifyFailed outcomes
+  std::size_t retries = 0;    // faulted transfer attempts
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
+  double cache_hit_rate = 0.0;
+  std::size_t cache_bytes = 0;
+  std::size_t in_flight = 0;
+};
+
+class ExchangeService {
+ public:
+  // The store must outlive the service. `model` may be null (always-DNAX
+  // fallback); `algorithms` maps the model's class indices to codec names
+  // and must match the table the model was fitted on.
+  ExchangeService(cloud::BlobStore& store,
+                  std::shared_ptr<ml::Classifier> model,
+                  std::vector<std::string> algorithms,
+                  ExchangeServiceOptions options = {});
+  ~ExchangeService();
+
+  ExchangeService(const ExchangeService&) = delete;
+  ExchangeService& operator=(const ExchangeService&) = delete;
+
+  // Installs a per-weight-profile model (multi-tenant selection). Requests
+  // whose weight_profile matches use it; others use the default model.
+  void add_model(const std::string& weight_profile,
+                 std::shared_ptr<ml::Classifier> model);
+
+  // Asynchronous pipeline entry. Always returns immediately: either a
+  // future that the pipeline fulfils, or (queue full) one already holding a
+  // kRejected report.
+  std::future<ExchangeReport> submit(ExchangeRequest request);
+
+  // Synchronous convenience: submit + wait.
+  ExchangeReport run(ExchangeRequest request);
+
+  ExchangeServiceStats stats() const;
+
+  const ExchangeServiceOptions& options() const noexcept { return opts_; }
+
+ private:
+  ExchangeReport process(std::uint64_t id, const ExchangeRequest& req,
+                         std::chrono::steady_clock::time_point enqueued);
+  std::string select_codec(const ExchangeRequest& req, double* select_ms);
+  // Transfer stage driver: runs `attempt_once` under the retry policy.
+  // Returns true on success; records trace entries and simulated penalties.
+  bool run_with_retries(std::uint64_t id, const char* stage,
+                        const std::function<double()>& attempt_once,
+                        std::size_t* attempts, double* simulated_ms,
+                        std::vector<std::string>* trace);
+
+  cloud::BlobStore* store_;
+  cloud::TransferModel transfer_;
+  FaultPolicy faults_;
+  ArtifactCache cache_;
+  ExchangeServiceOptions opts_;
+
+  std::shared_ptr<ml::Classifier> default_model_;
+  std::vector<std::string> algorithms_;
+  mutable std::mutex models_mu_;
+  std::map<std::string, std::shared_ptr<ml::Classifier>> profile_models_;
+
+  std::atomic<std::uint64_t> next_id_{0};
+  std::atomic<std::size_t> pending_{0};
+  std::atomic<std::size_t> accepted_{0};
+  std::atomic<std::size_t> rejected_{0};
+  std::atomic<std::size_t> completed_{0};
+  std::atomic<std::size_t> failed_{0};
+  std::atomic<std::size_t> retries_{0};
+
+  // DCB block pool first, pipeline pool last: members destroy in reverse
+  // order, and pipeline workers (which use dcb_pool_) must drain before
+  // anything they reference goes away.
+  util::ThreadPool dcb_pool_;
+  util::ThreadPool pool_;
+};
+
+}  // namespace dnacomp::exchange

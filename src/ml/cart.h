@@ -29,6 +29,9 @@ class CartClassifier final : public Classifier {
   std::size_t node_count() const override { return nodes_.size(); }
   std::size_t leaf_count() const override;
   std::string method_name() const override { return "CART"; }
+  const std::vector<std::string>& class_names() const override {
+    return class_names_;
+  }
 
   // Gini impurity of a class histogram (exposed for tests).
   static double gini(std::span<const std::size_t> counts);
@@ -44,6 +47,10 @@ class CartClassifier final : public Classifier {
     std::size_t n_rows = 0;
   };
 
+  // Serialization (src/ml/persist) reads and rebuilds the private tree.
+  friend struct PersistAccess;
+
+  CartClassifier() = default;
   CartClassifier(const DataTable& data, CartParams params);
   int build(std::vector<std::size_t>& rows, std::size_t depth);
   void collect_rules(int node, std::string prefix,

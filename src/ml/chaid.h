@@ -32,6 +32,9 @@ class ChaidClassifier final : public Classifier {
   std::size_t node_count() const override { return nodes_.size(); }
   std::size_t leaf_count() const override;
   std::string method_name() const override { return "CHAID"; }
+  const std::vector<std::string>& class_names() const override {
+    return class_names_;
+  }
 
   // log of the Bonferroni multiplier for merging c ordered categories into
   // r groups: C(c-1, r-1). Exposed for tests.
@@ -47,6 +50,9 @@ class ChaidClassifier final : public Classifier {
     std::vector<int> children;
     std::size_t n_rows = 0;
   };
+
+  // Serialization (src/ml/persist) reads and rebuilds the private tree.
+  friend struct PersistAccess;
 
   ChaidClassifier() = default;
   int build(const DataTable& data,

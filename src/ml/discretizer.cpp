@@ -38,6 +38,16 @@ Discretizer Discretizer::fit(std::span<const double> values,
   return d;
 }
 
+Discretizer Discretizer::from_edges(std::vector<double> edges) {
+  for (std::size_t i = 0; i + 1 < edges.size(); ++i) {
+    DC_CHECK_MSG(edges[i] < edges[i + 1],
+                 "discretizer edges must be strictly increasing");
+  }
+  Discretizer d;
+  d.edges_ = std::move(edges);
+  return d;
+}
+
 std::size_t Discretizer::bin_of(double v) const {
   // First edge >= v gives the bin.
   const auto it = std::lower_bound(edges_.begin(), edges_.end(), v);

@@ -19,6 +19,10 @@ class Discretizer {
   static Discretizer fit(std::span<const double> values,
                          std::size_t max_bins = 8);
 
+  // Rebuild from previously fitted upper edges (model deserialization).
+  // Edges must be strictly increasing.
+  static Discretizer from_edges(std::vector<double> edges);
+
   // Category index in [0, bin_count()).
   std::size_t bin_of(double v) const;
 

@@ -1,0 +1,249 @@
+#include "ml/persist.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "ml/cart.h"
+#include "ml/chaid.h"
+#include "util/json.h"
+
+namespace dnacomp::ml {
+
+using util::JsonValue;
+
+namespace {
+
+constexpr int kFormatVersion = 1;
+
+JsonValue names_to_json(const std::vector<std::string>& names) {
+  JsonValue arr = JsonValue::array();
+  for (const auto& n : names) arr.push(n);
+  return arr;
+}
+
+std::vector<std::string> names_from_json(const JsonValue& arr) {
+  std::vector<std::string> out;
+  out.reserve(arr.as_array().size());
+  for (const auto& v : arr.as_array()) out.push_back(v.as_string());
+  return out;
+}
+
+std::size_t index_from(const JsonValue& v, std::size_t bound,
+                       const char* what) {
+  const double d = v.as_number();
+  if (d < 0 || d >= static_cast<double>(bound) ||
+      d != static_cast<double>(static_cast<std::size_t>(d))) {
+    throw std::runtime_error(std::string("classifier json: bad ") + what);
+  }
+  return static_cast<std::size_t>(d);
+}
+
+void check_envelope(const JsonValue& doc, std::string_view method) {
+  if (doc.at("format").as_string() != "dnacomp-classifier") {
+    throw std::runtime_error("classifier json: wrong format tag");
+  }
+  if (doc.at("version").as_number() != kFormatVersion) {
+    throw std::runtime_error("classifier json: unsupported version");
+  }
+  if (doc.at("method").as_string() != method) {
+    throw std::runtime_error("classifier json: method mismatch");
+  }
+}
+
+}  // namespace
+
+// Friend of both classifiers: the only code outside fit() that touches the
+// private tree representation.
+struct PersistAccess {
+  // ------------------------------------------------------------- CART
+  static JsonValue cart_to_json(const CartClassifier& m) {
+    JsonValue doc = JsonValue::object();
+    doc.set("format", "dnacomp-classifier");
+    doc.set("version", kFormatVersion);
+    doc.set("method", m.method_name());
+    doc.set("feature_names", names_to_json(m.feature_names_));
+    doc.set("class_names", names_to_json(m.class_names_));
+    JsonValue nodes = JsonValue::array();
+    for (const auto& n : m.nodes_) {
+      JsonValue jn = JsonValue::object();
+      jn.set("leaf", n.is_leaf);
+      jn.set("prediction", n.prediction);
+      jn.set("n_rows", n.n_rows);
+      if (!n.is_leaf) {
+        jn.set("feature", n.feature);
+        jn.set("threshold", n.threshold);
+        jn.set("left", n.left);
+        jn.set("right", n.right);
+      }
+      nodes.push(std::move(jn));
+    }
+    doc.set("nodes", std::move(nodes));
+    return doc;
+  }
+
+  static std::unique_ptr<CartClassifier> cart_from_json(const JsonValue& doc) {
+    check_envelope(doc, "CART");
+    auto m = std::unique_ptr<CartClassifier>(new CartClassifier());
+    m->feature_names_ = names_from_json(doc.at("feature_names"));
+    m->class_names_ = names_from_json(doc.at("class_names"));
+    const auto& nodes = doc.at("nodes").as_array();
+    if (nodes.empty()) {
+      throw std::runtime_error("classifier json: empty tree");
+    }
+    for (const auto& jn : nodes) {
+      CartClassifier::Node n;
+      n.is_leaf = jn.at("leaf").as_bool();
+      n.prediction = static_cast<int>(
+          index_from(jn.at("prediction"), m->class_names_.size(),
+                     "prediction"));
+      n.n_rows = static_cast<std::size_t>(jn.at("n_rows").as_number());
+      if (!n.is_leaf) {
+        n.feature =
+            index_from(jn.at("feature"), m->feature_names_.size(), "feature");
+        n.threshold = jn.at("threshold").as_number();
+        n.left = static_cast<int>(
+            index_from(jn.at("left"), nodes.size(), "child index"));
+        n.right = static_cast<int>(
+            index_from(jn.at("right"), nodes.size(), "child index"));
+      }
+      m->nodes_.push_back(n);
+    }
+    return m;
+  }
+
+  // ------------------------------------------------------------ CHAID
+  static JsonValue chaid_to_json(const ChaidClassifier& m) {
+    JsonValue doc = JsonValue::object();
+    doc.set("format", "dnacomp-classifier");
+    doc.set("version", kFormatVersion);
+    doc.set("method", m.method_name());
+    doc.set("feature_names", names_to_json(m.feature_names_));
+    doc.set("class_names", names_to_json(m.class_names_));
+    JsonValue discretizers = JsonValue::array();
+    for (const auto& d : m.discretizers_) {
+      JsonValue jd = JsonValue::object();
+      JsonValue edges = JsonValue::array();
+      for (const double e : d.upper_edges()) edges.push(e);
+      jd.set("edges", std::move(edges));
+      discretizers.push(std::move(jd));
+    }
+    doc.set("discretizers", std::move(discretizers));
+    JsonValue nodes = JsonValue::array();
+    for (const auto& n : m.nodes_) {
+      JsonValue jn = JsonValue::object();
+      jn.set("leaf", n.is_leaf);
+      jn.set("prediction", n.prediction);
+      jn.set("n_rows", n.n_rows);
+      if (!n.is_leaf) {
+        jn.set("feature", n.feature);
+        JsonValue groups = JsonValue::array();
+        for (const auto& g : n.groups) {
+          JsonValue bins = JsonValue::array();
+          for (const std::size_t b : g) bins.push(b);
+          groups.push(std::move(bins));
+        }
+        jn.set("groups", std::move(groups));
+        JsonValue children = JsonValue::array();
+        for (const int c : n.children) children.push(c);
+        jn.set("children", std::move(children));
+      }
+      nodes.push(std::move(jn));
+    }
+    doc.set("nodes", std::move(nodes));
+    return doc;
+  }
+
+  static std::unique_ptr<ChaidClassifier> chaid_from_json(
+      const JsonValue& doc) {
+    check_envelope(doc, "CHAID");
+    auto m = std::unique_ptr<ChaidClassifier>(new ChaidClassifier());
+    m->feature_names_ = names_from_json(doc.at("feature_names"));
+    m->class_names_ = names_from_json(doc.at("class_names"));
+    const auto& discretizers = doc.at("discretizers").as_array();
+    if (discretizers.size() != m->feature_names_.size()) {
+      throw std::runtime_error(
+          "classifier json: discretizer count != feature count");
+    }
+    for (const auto& jd : discretizers) {
+      std::vector<double> edges;
+      for (const auto& e : jd.at("edges").as_array()) {
+        edges.push_back(e.as_number());
+      }
+      m->discretizers_.push_back(Discretizer::from_edges(std::move(edges)));
+    }
+    const auto& nodes = doc.at("nodes").as_array();
+    if (nodes.empty()) {
+      throw std::runtime_error("classifier json: empty tree");
+    }
+    for (const auto& jn : nodes) {
+      ChaidClassifier::Node n;
+      n.is_leaf = jn.at("leaf").as_bool();
+      n.prediction = static_cast<int>(
+          index_from(jn.at("prediction"), m->class_names_.size(),
+                     "prediction"));
+      n.n_rows = static_cast<std::size_t>(jn.at("n_rows").as_number());
+      if (!n.is_leaf) {
+        n.feature =
+            index_from(jn.at("feature"), m->feature_names_.size(), "feature");
+        const std::size_t bin_count =
+            m->discretizers_[n.feature].bin_count();
+        for (const auto& jg : jn.at("groups").as_array()) {
+          std::vector<std::size_t> group;
+          for (const auto& jb : jg.as_array()) {
+            group.push_back(index_from(jb, bin_count, "bin index"));
+          }
+          n.groups.push_back(std::move(group));
+        }
+        for (const auto& jc : jn.at("children").as_array()) {
+          n.children.push_back(static_cast<int>(
+              index_from(jc, nodes.size(), "child index")));
+        }
+        if (n.children.size() != n.groups.size()) {
+          throw std::runtime_error(
+              "classifier json: children/groups size mismatch");
+        }
+      }
+      m->nodes_.push_back(std::move(n));
+    }
+    return m;
+  }
+};
+
+std::string classifier_to_json(const Classifier& model) {
+  if (const auto* cart = dynamic_cast<const CartClassifier*>(&model)) {
+    return PersistAccess::cart_to_json(*cart).dump(2) + "\n";
+  }
+  if (const auto* chaid = dynamic_cast<const ChaidClassifier*>(&model)) {
+    return PersistAccess::chaid_to_json(*chaid).dump(2) + "\n";
+  }
+  throw std::runtime_error("classifier_to_json: unsupported model type: " +
+                           model.method_name());
+}
+
+std::unique_ptr<Classifier> classifier_from_json(std::string_view json) {
+  const JsonValue doc = JsonValue::parse(json);
+  const std::string& method = doc.at("method").as_string();
+  if (method == "CART") return PersistAccess::cart_from_json(doc);
+  if (method == "CHAID") return PersistAccess::chaid_from_json(doc);
+  throw std::runtime_error("classifier json: unknown method: " + method);
+}
+
+void save_classifier(const Classifier& model, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os.good()) {
+    throw std::runtime_error("cannot open " + path + " for writing");
+  }
+  os << classifier_to_json(model);
+  if (!os.good()) throw std::runtime_error("write failed: " + path);
+}
+
+std::unique_ptr<Classifier> load_classifier(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is.good()) throw std::runtime_error("cannot open " + path);
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  return classifier_from_json(ss.str());
+}
+
+}  // namespace dnacomp::ml

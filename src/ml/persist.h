@@ -1,0 +1,32 @@
+// Model persistence: fitted CHAID/CART trees serialize to a self-describing
+// JSON document and load back without refitting — so a serving process (the
+// exchange service, `dnacomp_cli serve-sim --model`) can start from a model
+// file instead of re-running the experiment grid.
+//
+// The document records the method, feature/class names and the full tree
+// (plus per-feature discretizer edges for CHAID). Thresholds and edges are
+// printed with %.17g, so a load/save round trip is prediction-identical.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "ml/tree.h"
+
+namespace dnacomp::ml {
+
+// Serializes a fitted CartClassifier or ChaidClassifier. Throws
+// std::runtime_error for any other Classifier implementation.
+std::string classifier_to_json(const Classifier& model);
+
+// Inverse of classifier_to_json: dispatches on the "method" field. Throws
+// std::runtime_error on malformed documents, unknown methods, unsupported
+// format versions, or out-of-range tree indices.
+std::unique_ptr<Classifier> classifier_from_json(std::string_view json);
+
+// File convenience wrappers; throw std::runtime_error on I/O failure.
+void save_classifier(const Classifier& model, const std::string& path);
+std::unique_ptr<Classifier> load_classifier(const std::string& path);
+
+}  // namespace dnacomp::ml

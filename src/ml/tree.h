@@ -26,6 +26,10 @@ class Classifier {
   virtual std::size_t node_count() const = 0;
   virtual std::size_t leaf_count() const = 0;
   virtual std::string method_name() const = 0;
+
+  // Label names in class-index order — for the selector trees these are the
+  // algorithm names, so a loaded model carries its own codec mapping.
+  virtual const std::vector<std::string>& class_names() const = 0;
 };
 
 }  // namespace dnacomp::ml

@@ -1,0 +1,88 @@
+// Minimal JSON document model: parse, navigate, build, serialize.
+//
+// Exists so model files (src/ml/persist) and machine-readable bench records
+// can be written and read back without an external dependency. Scope is the
+// JSON actually produced by this repo: objects, arrays, strings (with \uXXXX
+// escapes for control characters only), finite doubles, bools, null.
+// Numbers serialize with %.17g so parse(dump(v)) reproduces exact doubles —
+// the same round-trip rule src/obs uses for metrics snapshots.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dnacomp::util {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  // Object keys keep insertion order (models serialize deterministically
+  // and diffs stay readable), so storage is a vector of pairs.
+  using Array = std::vector<JsonValue>;
+  using Object = std::vector<std::pair<std::string, JsonValue>>;
+
+  JsonValue() : kind_(Kind::kNull) {}
+  JsonValue(bool b) : kind_(Kind::kBool), bool_(b) {}
+  JsonValue(double d) : kind_(Kind::kNumber), num_(d) {}
+  JsonValue(int i) : kind_(Kind::kNumber), num_(i) {}
+  JsonValue(std::size_t n)
+      : kind_(Kind::kNumber), num_(static_cast<double>(n)) {}
+  JsonValue(std::string s) : kind_(Kind::kString), str_(std::move(s)) {}
+  JsonValue(const char* s) : kind_(Kind::kString), str_(s) {}
+
+  static JsonValue array() {
+    JsonValue v;
+    v.kind_ = Kind::kArray;
+    return v;
+  }
+  static JsonValue object() {
+    JsonValue v;
+    v.kind_ = Kind::kObject;
+    return v;
+  }
+
+  // Throws std::runtime_error with a byte offset on malformed input or
+  // trailing garbage.
+  static JsonValue parse(std::string_view text);
+
+  Kind kind() const noexcept { return kind_; }
+  bool is_null() const noexcept { return kind_ == Kind::kNull; }
+  bool is_object() const noexcept { return kind_ == Kind::kObject; }
+  bool is_array() const noexcept { return kind_ == Kind::kArray; }
+
+  // Typed accessors throw std::runtime_error on kind mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  const Object& as_object() const;
+
+  // Object lookup: at() throws if missing, find() returns nullptr.
+  const JsonValue& at(std::string_view key) const;
+  const JsonValue* find(std::string_view key) const noexcept;
+
+  // Builders (no-ops are errors: set() requires an object, push() an array).
+  JsonValue& set(std::string key, JsonValue v);  // returns *this for chaining
+  JsonValue& push(JsonValue v);
+
+  // Compact serialization (no whitespace). `indent >= 0` pretty-prints with
+  // that many spaces per level.
+  std::string dump(int indent = -1) const;
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  Array arr_;
+  Object obj_;
+};
+
+}  // namespace dnacomp::util

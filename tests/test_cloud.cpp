@@ -98,6 +98,90 @@ TEST(BlobStore, CommitUnknownBlockThrows) {
                std::runtime_error);
 }
 
+TEST(BlobStore, RePutOverwritesBlocksAndProperties) {
+  BlobStore store;
+  store.create_container("c");
+  store.put_blob("c", "b", make_payload(BlobStore::kBlockSize + 1));
+  auto props = store.get_properties("c", "b");
+  ASSERT_TRUE(props.has_value());
+  EXPECT_EQ(props->size_bytes, BlobStore::kBlockSize + 1);
+  EXPECT_EQ(props->block_count, 2u);
+
+  const auto replacement = make_payload(100);
+  store.put_blob("c", "b", replacement);
+  EXPECT_EQ(*store.get_blob("c", "b"), replacement);
+  props = store.get_properties("c", "b");
+  ASSERT_TRUE(props.has_value());
+  EXPECT_EQ(props->size_bytes, 100u);
+  EXPECT_EQ(props->block_count, 1u);
+  EXPECT_EQ(store.total_bytes(), 100u);
+}
+
+TEST(BlobStore, CommitOverExistingBlobReplacesIt) {
+  BlobStore store;
+  store.create_container("c");
+  store.put_blob("c", "b", make_payload(500));
+  store.stage_block("c", "b", "blk1", make_payload(7));
+  store.commit_block_list("c", "b", {"blk1"});
+  const auto blob = store.get_blob("c", "b");
+  ASSERT_TRUE(blob.has_value());
+  EXPECT_EQ(*blob, make_payload(7));
+  EXPECT_EQ(store.get_properties("c", "b")->block_count, 1u);
+}
+
+TEST(BlobStore, DeleteBlobDiscardsStagedBlocks) {
+  BlobStore store;
+  store.create_container("c");
+  store.stage_block("c", "b", "blk1", make_payload(3));
+  EXPECT_TRUE(store.delete_blob("c", "b"));  // only staged state existed
+  // The staged block list is gone: committing it now fails loudly.
+  EXPECT_THROW(store.commit_block_list("c", "b", {"blk1"}),
+               std::runtime_error);
+  EXPECT_FALSE(store.delete_blob("c", "b"));
+}
+
+TEST(BlobStore, ConcurrentPutGetOfDistinctBlobs) {
+  BlobStore store;
+  store.create_container("c");
+  constexpr int kWriters = 4;
+  constexpr int kPerWriter = 25;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kWriters; ++t) {
+    threads.emplace_back([&store, t] {
+      for (int i = 0; i < kPerWriter; ++i) {
+        const std::string name =
+            "blob-" + std::to_string(t) + "-" + std::to_string(i);
+        store.put_blob("c", name, make_payload(static_cast<std::size_t>(
+                                      64 + t * kPerWriter + i)));
+      }
+    });
+    threads.emplace_back([&store, t] {
+      // Readers race the writers on the same names; a read sees either
+      // nothing or a fully committed payload, never a torn one.
+      for (int i = 0; i < kPerWriter; ++i) {
+        const std::string name =
+            "blob-" + std::to_string(t) + "-" + std::to_string(i);
+        const auto blob = store.get_blob("c", name);
+        if (blob.has_value()) {
+          EXPECT_EQ(*blob, make_payload(blob->size()));
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(store.list_blobs("c").size(),
+            static_cast<std::size_t>(kWriters * kPerWriter));
+  for (int t = 0; t < kWriters; ++t) {
+    for (int i = 0; i < kPerWriter; ++i) {
+      const auto blob = store.get_blob(
+          "c", "blob-" + std::to_string(t) + "-" + std::to_string(i));
+      ASSERT_TRUE(blob.has_value());
+      EXPECT_EQ(blob->size(),
+                static_cast<std::size_t>(64 + t * kPerWriter + i));
+    }
+  }
+}
+
 TEST(BlobStore, BlocksForMatchesAzureBlockSize) {
   EXPECT_EQ(BlobStore::blocks_for(0), 1u);
   EXPECT_EQ(BlobStore::blocks_for(1), 1u);

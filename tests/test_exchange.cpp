@@ -1,0 +1,446 @@
+// Exchange service: fault/retry policy, artifact cache, and the full
+// concurrent request pipeline (admission, selection, DCB blocking, transfer
+// retries, verification).
+#include <gtest/gtest.h>
+
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cloud/blob_store.h"
+#include "cloud/vm.h"
+#include "compressors/container.h"
+#include "exchange/artifact_cache.h"
+#include "exchange/fault.h"
+#include "exchange/service.h"
+#include "ml/cart.h"
+#include "ml/data_table.h"
+#include "sequence/generator.h"
+
+namespace dnacomp::exchange {
+namespace {
+
+cloud::VmSpec test_context() {
+  cloud::VmSpec ctx;
+  ctx.ram_gb = 4.0;
+  ctx.cpu_ghz = 2.4;
+  ctx.bandwidth_mbps = 8.0;
+  return ctx;
+}
+
+std::vector<std::uint8_t> dna_bytes(std::size_t length, std::uint64_t seed) {
+  sequence::GeneratorParams gp;
+  gp.length = length;
+  gp.seed = seed;
+  const auto text = sequence::generate_dna(gp);
+  return {text.begin(), text.end()};
+}
+
+ArtifactPayload payload_of(std::size_t n, std::uint8_t fill) {
+  return std::make_shared<const std::vector<std::uint8_t>>(n, fill);
+}
+
+// ------------------------------------------------------------ FaultPolicy
+
+TEST(FaultPolicy, DeterministicAcrossInstances) {
+  FaultPolicyParams p;
+  p.drop_probability = 0.3;
+  p.timeout_probability = 0.2;
+  p.seed = 99;
+  const FaultPolicy a(p), b(p);
+  for (std::uint64_t id = 1; id <= 200; ++id) {
+    for (std::size_t attempt = 1; attempt <= 3; ++attempt) {
+      EXPECT_EQ(a.evaluate(id, "upload", attempt),
+                b.evaluate(id, "upload", attempt));
+      EXPECT_EQ(a.evaluate(id, "download", attempt),
+                b.evaluate(id, "download", attempt));
+    }
+  }
+}
+
+TEST(FaultPolicy, ZeroProbabilityNeverFaults) {
+  const FaultPolicy policy;
+  for (std::uint64_t id = 1; id <= 100; ++id) {
+    EXPECT_EQ(policy.evaluate(id, "upload", 1), FaultKind::kNone);
+  }
+}
+
+TEST(FaultPolicy, ObservedRateTracksConfiguredRate) {
+  FaultPolicyParams p;
+  p.drop_probability = 0.25;
+  p.seed = 5;
+  const FaultPolicy policy(p);
+  std::size_t faults = 0;
+  constexpr std::size_t kTrials = 4000;
+  for (std::uint64_t id = 1; id <= kTrials; ++id) {
+    if (policy.evaluate(id, "upload", 1) != FaultKind::kNone) ++faults;
+  }
+  const double rate = static_cast<double>(faults) / kTrials;
+  EXPECT_NEAR(rate, 0.25, 0.05);
+}
+
+TEST(FaultPolicy, SeedChangesOutcomes) {
+  FaultPolicyParams p;
+  p.drop_probability = 0.5;
+  p.seed = 1;
+  const FaultPolicy a(p);
+  p.seed = 2;
+  const FaultPolicy b(p);
+  bool any_diff = false;
+  for (std::uint64_t id = 1; id <= 200 && !any_diff; ++id) {
+    any_diff = a.evaluate(id, "upload", 1) != b.evaluate(id, "upload", 1);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Backoff, NoDelayBeforeFirstAttempt) {
+  EXPECT_EQ(backoff_delay_ms({}, 1, 1, "upload", 0), 0.0);
+  EXPECT_EQ(backoff_delay_ms({}, 1, 1, "upload", 1), 0.0);
+}
+
+TEST(Backoff, BoundedAndDeterministic) {
+  RetryParams rp;
+  rp.base_delay_ms = 2.0;
+  rp.multiplier = 2.0;
+  rp.max_delay_ms = 50.0;
+  rp.jitter = 0.5;
+  for (std::size_t attempt = 2; attempt <= 10; ++attempt) {
+    const double d = backoff_delay_ms(rp, 7, 42, "download", attempt);
+    EXPECT_GE(d, 0.0);
+    EXPECT_LE(d, rp.max_delay_ms * (1.0 + rp.jitter));
+    EXPECT_EQ(d, backoff_delay_ms(rp, 7, 42, "download", attempt));
+  }
+}
+
+TEST(Backoff, ZeroJitterIsPureExponential) {
+  RetryParams rp;
+  rp.base_delay_ms = 3.0;
+  rp.multiplier = 2.0;
+  rp.max_delay_ms = 1000.0;
+  rp.jitter = 0.0;
+  EXPECT_DOUBLE_EQ(backoff_delay_ms(rp, 1, 1, "upload", 2), 3.0);
+  EXPECT_DOUBLE_EQ(backoff_delay_ms(rp, 1, 1, "upload", 3), 6.0);
+  EXPECT_DOUBLE_EQ(backoff_delay_ms(rp, 1, 1, "upload", 4), 12.0);
+}
+
+// ---------------------------------------------------------- ArtifactCache
+
+TEST(ArtifactCache, HitMissAndStats) {
+  ArtifactCache cache(1 << 20);
+  const ArtifactKey key{123, "dnax", 0};
+  EXPECT_EQ(cache.get(key), nullptr);
+  cache.put(key, payload_of(100, 7));
+  const auto hit = cache.get(key);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->size(), 100u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_DOUBLE_EQ(cache.hit_rate(), 0.5);
+}
+
+TEST(ArtifactCache, EvictsLeastRecentlyUsed) {
+  ArtifactCache cache(250);
+  const ArtifactKey a{1, "dnax", 0}, b{2, "dnax", 0}, c{3, "dnax", 0};
+  cache.put(a, payload_of(100, 1));
+  cache.put(b, payload_of(100, 2));
+  ASSERT_NE(cache.get(a), nullptr);  // refresh a; b is now LRU
+  cache.put(c, payload_of(100, 3));  // over budget: evicts b
+  EXPECT_NE(cache.get(a), nullptr);
+  EXPECT_EQ(cache.get(b), nullptr);
+  EXPECT_NE(cache.get(c), nullptr);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_LE(cache.size_bytes(), 250u);
+}
+
+TEST(ArtifactCache, OversizedPayloadIsNotCached) {
+  ArtifactCache cache(100);
+  const ArtifactKey key{9, "gzip", 0};
+  cache.put(key, payload_of(500, 1));
+  EXPECT_EQ(cache.get(key), nullptr);
+  EXPECT_EQ(cache.entries(), 0u);
+}
+
+TEST(ArtifactCache, ZeroCapacityDisablesCaching) {
+  ArtifactCache cache(0);
+  const ArtifactKey key{9, "gzip", 0};
+  cache.put(key, payload_of(1, 1));
+  EXPECT_EQ(cache.get(key), nullptr);
+}
+
+TEST(ArtifactCache, KeyComponentsIsolateEntries) {
+  ArtifactCache cache(1 << 20);
+  cache.put({7, "dnax", 0}, payload_of(10, 1));
+  EXPECT_EQ(cache.get({7, "gzip", 0}), nullptr);    // other codec
+  EXPECT_EQ(cache.get({7, "dnax", 4096}), nullptr); // other geometry
+  EXPECT_EQ(cache.get({8, "dnax", 0}), nullptr);    // other content
+  EXPECT_NE(cache.get({7, "dnax", 0}), nullptr);
+}
+
+TEST(ArtifactCache, ContentHashSeparatesContent) {
+  const auto a = dna_bytes(4096, 1);
+  const auto b = dna_bytes(4096, 2);
+  EXPECT_NE(content_hash(a), content_hash(b));
+  EXPECT_EQ(content_hash(a), content_hash(a));
+}
+
+// ------------------------------------------------------- ExchangeService
+
+ExchangeServiceOptions small_options() {
+  ExchangeServiceOptions opts;
+  opts.threads = 2;
+  opts.dcb_threads = 2;
+  opts.retry.base_delay_ms = 0.1;
+  opts.retry.max_delay_ms = 1.0;
+  return opts;
+}
+
+TEST(ExchangeService, FallbackHappyPathRoundTrips) {
+  cloud::BlobStore store;
+  ExchangeService service(store, nullptr, {}, small_options());
+
+  ExchangeRequest req;
+  req.sequence = dna_bytes(8192, 11);
+  req.context = test_context();
+  const auto rep = service.run(req);
+
+  EXPECT_EQ(rep.status, ExchangeStatus::kOk);
+  EXPECT_TRUE(rep.verified);
+  EXPECT_EQ(rep.codec, "dnax");
+  EXPECT_FALSE(rep.blocked);
+  EXPECT_FALSE(rep.cache_hit);
+  EXPECT_EQ(rep.upload_attempts, 1u);
+  EXPECT_EQ(rep.download_attempts, 1u);
+  EXPECT_TRUE(rep.fault_trace.empty());
+  EXPECT_EQ(rep.raw_bytes, 8192u);
+  EXPECT_GT(rep.payload_bytes, 0u);
+  const auto blob =
+      store.get_blob(service.options().container, rep.blob_name);
+  ASSERT_TRUE(blob.has_value());
+  EXPECT_EQ(blob->size(), rep.payload_bytes);
+}
+
+TEST(ExchangeService, RepeatContentHitsCacheAndSkipsCompression) {
+  cloud::BlobStore store;
+  ExchangeService service(store, nullptr, {}, small_options());
+
+  ExchangeRequest req;
+  req.sequence = dna_bytes(8192, 12);
+  req.context = test_context();
+  const auto first = service.run(req);
+  const auto second = service.run(req);
+
+  EXPECT_FALSE(first.cache_hit);
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(second.stages.compress_ms, 0.0);
+  EXPECT_EQ(first.payload_bytes, second.payload_bytes);
+  EXPECT_TRUE(second.verified);
+  EXPECT_EQ(service.stats().cache_hits, 1u);
+}
+
+TEST(ExchangeService, CacheNeverServesAcrossDifferentContent) {
+  cloud::BlobStore store;
+  ExchangeService service(store, nullptr, {}, small_options());
+
+  ExchangeRequest a, b;
+  a.sequence = dna_bytes(8192, 13);
+  b.sequence = dna_bytes(8192, 14);
+  a.context = b.context = test_context();
+
+  const auto ra = service.run(a);
+  const auto rb = service.run(b);  // different content: must not hit
+  const auto ra2 = service.run(a);
+
+  EXPECT_NE(ra.content_hash, rb.content_hash);
+  EXPECT_FALSE(ra.cache_hit);
+  EXPECT_FALSE(rb.cache_hit);
+  EXPECT_TRUE(ra2.cache_hit);
+  // Each round trip still verified against its own input bytes.
+  EXPECT_TRUE(ra.verified);
+  EXPECT_TRUE(rb.verified);
+  EXPECT_TRUE(ra2.verified);
+}
+
+TEST(ExchangeService, LargeInputTakesDcbBlockedPath) {
+  cloud::BlobStore store;
+  auto opts = small_options();
+  opts.dcb_threshold_bytes = 4096;
+  opts.dcb_block_bytes = 4096;
+  ExchangeService service(store, nullptr, {}, opts);
+
+  ExchangeRequest req;
+  req.sequence = dna_bytes(20000, 15);
+  req.context = test_context();
+  const auto rep = service.run(req);
+
+  EXPECT_EQ(rep.status, ExchangeStatus::kOk);
+  EXPECT_TRUE(rep.blocked);
+  EXPECT_TRUE(rep.verified);
+  const auto blob =
+      store.get_blob(service.options().container, rep.blob_name);
+  ASSERT_TRUE(blob.has_value());
+  EXPECT_TRUE(compressors::is_dcb_stream(*blob));
+}
+
+TEST(ExchangeService, RetryExhaustionFailsWithoutTouchingStore) {
+  cloud::BlobStore store;
+  auto opts = small_options();
+  opts.retry.max_attempts = 3;
+  opts.faults.drop_probability = 1.0;
+  ExchangeService service(store, nullptr, {}, opts);
+
+  ExchangeRequest req;
+  req.sequence = dna_bytes(4096, 16);
+  req.context = test_context();
+  const auto rep = service.run(req);
+
+  EXPECT_EQ(rep.status, ExchangeStatus::kFailedUpload);
+  EXPECT_FALSE(rep.verified);
+  EXPECT_EQ(rep.upload_attempts, 3u);
+  ASSERT_EQ(rep.fault_trace.size(), 3u);
+  EXPECT_EQ(rep.fault_trace[0], "upload#1:drop");
+  EXPECT_EQ(rep.fault_trace[1], "upload#2:drop");
+  EXPECT_EQ(rep.fault_trace[2], "upload#3:drop");
+  // The store was never written: no blob, no bytes.
+  EXPECT_TRUE(store.list_blobs(service.options().container).empty());
+  EXPECT_EQ(store.total_bytes(), 0u);
+  EXPECT_EQ(service.stats().failed, 1u);
+}
+
+TEST(ExchangeService, SameSeedYieldsIdenticalRetryTraces) {
+  const auto run_traces = [](std::size_t threads) {
+    cloud::BlobStore store;
+    auto opts = small_options();
+    opts.threads = threads;
+    opts.faults.drop_probability = 0.3;
+    opts.faults.timeout_probability = 0.1;
+    opts.faults.seed = 2024;
+    ExchangeService service(store, nullptr, {}, opts);
+    std::vector<std::future<ExchangeReport>> futs;
+    for (std::uint64_t i = 0; i < 24; ++i) {
+      ExchangeRequest req;
+      req.sequence = dna_bytes(2048, 100 + i);
+      req.context = test_context();
+      futs.push_back(service.submit(std::move(req)));
+    }
+    std::vector<std::vector<std::string>> traces;
+    for (auto& f : futs) traces.push_back(f.get().fault_trace);
+    return traces;
+  };
+  // Same seed, different worker counts (hence schedules): identical traces.
+  const auto a = run_traces(1);
+  const auto b = run_traces(4);
+  EXPECT_EQ(a, b);
+  std::size_t faulted = 0;
+  for (const auto& t : a) faulted += t.size();
+  EXPECT_GT(faulted, 0u);  // the scenario actually exercised retries
+}
+
+TEST(ExchangeService, FullQueueRejectsImmediately) {
+  cloud::BlobStore store;
+  ExchangeServiceOptions opts;
+  opts.threads = 1;
+  opts.dcb_threads = 1;
+  opts.max_pending = 1;
+  // Occupy the single worker: every upload attempt faults, with real
+  // backoff sleeps between attempts.
+  opts.faults.drop_probability = 1.0;
+  opts.retry.max_attempts = 4;
+  opts.retry.base_delay_ms = 5.0;
+  opts.retry.jitter = 0.0;
+  ExchangeService service(store, nullptr, {}, opts);
+
+  ExchangeRequest slow;
+  slow.sequence = dna_bytes(4096, 17);
+  slow.context = test_context();
+  auto first = service.submit(std::move(slow));
+
+  ExchangeRequest second;
+  second.sequence = dna_bytes(1024, 18);
+  second.context = test_context();
+  const auto rejected = service.submit(std::move(second)).get();
+  EXPECT_EQ(rejected.status, ExchangeStatus::kRejected);
+  EXPECT_EQ(rejected.codec, "");
+
+  EXPECT_EQ(first.get().status, ExchangeStatus::kFailedUpload);
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.accepted, 1u);
+  EXPECT_EQ(stats.rejected, 1u);
+}
+
+TEST(ExchangeService, ProfileModelOverridesDefaultSelection) {
+  // A one-leaf CART that always predicts class 0 = "gzip"; the default
+  // (null model) path falls back to dnax.
+  ml::DataTable table({"ram_gb", "cpu_ghz", "bandwidth_mbps", "file_kb"},
+                      {"gzip", "dnax"});
+  for (int i = 0; i < 8; ++i) {
+    const double row[4] = {4.0, 2.0, 8.0, static_cast<double>(i)};
+    table.add_row(row, 0);
+  }
+  std::shared_ptr<ml::Classifier> always_gzip =
+      ml::CartClassifier::fit(table);
+
+  cloud::BlobStore store;
+  ExchangeService service(store, nullptr, {"gzip", "dnax"}, small_options());
+  service.add_model("tenant-a", always_gzip);
+
+  ExchangeRequest req;
+  req.sequence = dna_bytes(4096, 19);
+  req.context = test_context();
+
+  const auto default_rep = service.run(req);
+  EXPECT_EQ(default_rep.codec, "dnax");
+
+  req.weight_profile = "tenant-a";
+  const auto tenant_rep = service.run(req);
+  EXPECT_EQ(tenant_rep.codec, "gzip");
+  EXPECT_TRUE(tenant_rep.verified);
+
+  req.weight_profile = "unknown-tenant";
+  const auto unknown_rep = service.run(req);
+  EXPECT_EQ(unknown_rep.codec, "dnax");  // falls back to the default
+}
+
+TEST(ExchangeService, SustainsConcurrentLoadUnderFaults) {
+  cloud::BlobStore store;
+  ExchangeServiceOptions opts;
+  opts.threads = 4;
+  opts.dcb_threads = 2;
+  opts.max_pending = 64;
+  opts.retry.base_delay_ms = 0.1;
+  opts.retry.max_delay_ms = 1.0;
+  opts.faults.drop_probability = 0.1;
+  opts.faults.timeout_probability = 0.05;
+  ExchangeService service(store, nullptr, {}, opts);
+
+  constexpr std::size_t kRequests = 96;
+  std::vector<std::future<ExchangeReport>> futs;
+  std::vector<ExchangeReport> reports;
+  reports.reserve(kRequests);
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    ExchangeRequest req;
+    // A few distinct payloads, repeated: exercises the cache under load.
+    req.sequence = dna_bytes(2048 + 512 * (i % 5), 1000 + i % 8);
+    req.context = test_context();
+    futs.push_back(service.submit(std::move(req)));
+    if (futs.size() >= opts.max_pending) {
+      reports.push_back(futs.front().get());
+      futs.erase(futs.begin());
+    }
+  }
+  for (auto& f : futs) reports.push_back(f.get());
+  ASSERT_EQ(reports.size(), kRequests);
+  for (const auto& rep : reports) {
+    EXPECT_EQ(rep.status, ExchangeStatus::kOk)
+        << status_name(rep.status) << " for request " << rep.request_id;
+    EXPECT_TRUE(rep.verified);
+  }
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(stats.completed, kRequests);
+  EXPECT_GT(stats.cache_hits, 0u);
+}
+
+}  // namespace
+}  // namespace dnacomp::exchange

@@ -1,0 +1,153 @@
+// Classifier persistence: fitted CART/CHAID trees must round-trip through
+// JSON with prediction-identical behavior, and malformed documents must be
+// rejected loudly.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "ml/cart.h"
+#include "ml/chaid.h"
+#include "ml/data_table.h"
+#include "ml/persist.h"
+
+namespace dnacomp::ml {
+namespace {
+
+// A table whose winning class depends on several features, so both learners
+// grow real multi-level trees (not a single leaf).
+DataTable make_table() {
+  DataTable table({"ram_gb", "cpu_ghz", "bandwidth_mbps", "file_kb"},
+                  {"ctw", "dnax", "gencompress", "gzip"});
+  for (int ram = 1; ram <= 8; ++ram) {
+    for (int cpu = 1; cpu <= 4; ++cpu) {
+      for (int bw = 2; bw <= 32; bw *= 2) {
+        for (int kb = 16; kb <= 1024; kb *= 4) {
+          const double row[4] = {static_cast<double>(ram),
+                                 static_cast<double>(cpu) * 0.8,
+                                 static_cast<double>(bw),
+                                 static_cast<double>(kb)};
+          int label;
+          if (kb <= 16) {
+            label = 2;  // tiny files: gencompress
+          } else if (bw >= 16 && cpu <= 2) {
+            label = 3;  // fat pipe, slow cpu: gzip
+          } else if (ram <= 2) {
+            label = 0;  // low memory: ctw
+          } else {
+            label = 1;  // everything else: dnax
+          }
+          table.add_row(row, label);
+        }
+      }
+    }
+  }
+  return table;
+}
+
+// Probe grid: training points plus off-grid values that land between
+// thresholds on both sides.
+std::vector<std::vector<double>> probe_features() {
+  std::vector<std::vector<double>> probes;
+  for (double ram : {0.5, 1.0, 2.5, 4.0, 7.9, 16.0}) {
+    for (double cpu : {0.8, 1.7, 2.4, 3.3}) {
+      for (double bw : {1.0, 6.0, 16.0, 48.0}) {
+        for (double kb : {8.0, 17.0, 100.0, 900.0, 4096.0}) {
+          probes.push_back({ram, cpu, bw, kb});
+        }
+      }
+    }
+  }
+  return probes;
+}
+
+void expect_identical_predictions(const Classifier& a, const Classifier& b) {
+  for (const auto& f : probe_features()) {
+    EXPECT_EQ(a.predict(f), b.predict(f))
+        << "at {" << f[0] << ", " << f[1] << ", " << f[2] << ", " << f[3]
+        << "}";
+  }
+}
+
+TEST(Persist, CartRoundTripPredictsIdentically) {
+  const auto table = make_table();
+  const auto model = CartClassifier::fit(table);
+  ASSERT_GT(model->node_count(), 1u);  // a real tree, not one leaf
+
+  const auto json = classifier_to_json(*model);
+  const auto loaded = classifier_from_json(json);
+  ASSERT_NE(loaded, nullptr);
+  EXPECT_EQ(loaded->method_name(), "CART");
+  EXPECT_EQ(loaded->node_count(), model->node_count());
+  EXPECT_EQ(loaded->leaf_count(), model->leaf_count());
+  EXPECT_EQ(loaded->class_names(), model->class_names());
+  EXPECT_EQ(loaded->rules(), model->rules());
+  expect_identical_predictions(*model, *loaded);
+}
+
+TEST(Persist, ChaidRoundTripPredictsIdentically) {
+  const auto table = make_table();
+  const auto model = ChaidClassifier::fit(table);
+  ASSERT_GT(model->node_count(), 1u);
+
+  const auto json = classifier_to_json(*model);
+  const auto loaded = classifier_from_json(json);
+  ASSERT_NE(loaded, nullptr);
+  EXPECT_EQ(loaded->method_name(), "CHAID");
+  EXPECT_EQ(loaded->node_count(), model->node_count());
+  EXPECT_EQ(loaded->class_names(), model->class_names());
+  EXPECT_EQ(loaded->rules(), model->rules());
+  expect_identical_predictions(*model, *loaded);
+}
+
+TEST(Persist, DoubleRoundTripIsStable) {
+  const auto table = make_table();
+  const auto model = CartClassifier::fit(table);
+  const auto once = classifier_to_json(*model);
+  const auto twice = classifier_to_json(*classifier_from_json(once));
+  EXPECT_EQ(once, twice);
+}
+
+TEST(Persist, FileSaveLoadRoundTrips) {
+  const auto table = make_table();
+  const auto model = ChaidClassifier::fit(table);
+  const std::string path =
+      testing::TempDir() + "/dnacomp_persist_roundtrip.json";
+  save_classifier(*model, path);
+  const auto loaded = load_classifier(path);
+  ASSERT_NE(loaded, nullptr);
+  expect_identical_predictions(*model, *loaded);
+  std::remove(path.c_str());
+}
+
+TEST(Persist, RejectsMalformedDocuments) {
+  EXPECT_THROW(classifier_from_json("not json"), std::runtime_error);
+  EXPECT_THROW(classifier_from_json("{}"), std::runtime_error);
+  EXPECT_THROW(
+      classifier_from_json(
+          R"({"format": "dnacomp-classifier", "version": 1,
+              "method": "ID3", "feature_names": [], "class_names": [],
+              "nodes": []})"),
+      std::runtime_error);
+  EXPECT_THROW(classifier_from_json(
+                   R"({"format": "other", "version": 1, "method": "CART"})"),
+               std::runtime_error);
+  EXPECT_THROW(load_classifier("/nonexistent/path/model.json"),
+               std::runtime_error);
+}
+
+TEST(Persist, RejectsOutOfRangeTreeIndices) {
+  const auto table = make_table();
+  const auto model = CartClassifier::fit(table);
+  auto json = classifier_to_json(*model);
+  // Corrupt a child index far beyond the node array.
+  const auto pos = json.find("\"left\":");
+  ASSERT_NE(pos, std::string::npos);
+  const auto end = json.find_first_of(",}", pos);
+  json.replace(pos, end - pos, "\"left\": 999999");
+  EXPECT_THROW(classifier_from_json(json), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace dnacomp::ml
