@@ -17,7 +17,7 @@ using namespace dnacomp;
 namespace {
 
 double bpc_of(const compressors::Compressor& codec, const std::string& s) {
-  return 8.0 * static_cast<double>(codec.compress_str(s).size()) /
+  return 8.0 * static_cast<double>(codec.compress(compressors::as_byte_span(s)).size()) /
          static_cast<double>(s.size());
 }
 
@@ -79,7 +79,7 @@ int main() {
     params.depth = depth;
     const compressors::CtwCompressor codec(params);
     util::Stopwatch sw;
-    const auto out = codec.compress_str(s);
+    const auto out = codec.compress(compressors::as_byte_span(s));
     ctw.add_row({std::to_string(depth),
                  util::TablePrinter::num(
                      8.0 * static_cast<double>(out.size()) /

@@ -49,10 +49,10 @@ int main() {
       const auto codec = compressors::make_compressor(name);
       util::TrackingResource mem;
       util::Stopwatch sw;
-      const auto out = codec->compress_str(s, &mem);
+      const auto out = codec->compress(compressors::as_byte_span(s), &mem);
       const double tc = sw.elapsed_ms();
       sw.reset();
-      const auto back = codec->decompress_str(out);
+      const auto back = compressors::bytes_to_string(codec->decompress(out));
       const double td = sw.elapsed_ms();
       if (back != s) {
         std::printf("ROUND TRIP FAILED: %s\n", name);
@@ -82,10 +82,10 @@ int main() {
     const auto gen = compressors::make_compressor("gencompress");
     const auto pack = compressors::make_compressor("dnapack");
     util::Stopwatch sw;
-    const auto g = gen->compress_str(s);
+    const auto g = gen->compress(compressors::as_byte_span(s));
     const double gms = sw.elapsed_ms();
     sw.reset();
-    const auto p = pack->compress_str(s);
+    const auto p = pack->compress(compressors::as_byte_span(s));
     const double pms = sw.elapsed_ms();
     const double gb = 8.0 * static_cast<double>(g.size()) / static_cast<double>(n);
     const double pb = 8.0 * static_cast<double>(p.size()) / static_cast<double>(n);

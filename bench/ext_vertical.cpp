@@ -57,9 +57,9 @@ int main() {
       return 1;
     }
     const auto gen =
-        compressors::make_compressor("gencompress")->compress_str(target);
+        compressors::make_compressor("gencompress")->compress(compressors::as_byte_span(target));
     const auto dnax =
-        compressors::make_compressor("dnax")->compress_str(target);
+        compressors::make_compressor("dnax")->compress(compressors::as_byte_span(target));
     const double n = static_cast<double>(target.size());
     const double vb = 8.0 * static_cast<double>(v.size()) / n;
     const double gb = 8.0 * static_cast<double>(gen.size()) / n;
@@ -92,7 +92,7 @@ int main() {
   const auto gen = compressors::make_compressor("gencompress");
   for (int v = 0; v < 10; ++v) {
     const auto target = mutate(reference, 0.001, 5000 + v);
-    horizontal_total += gen->compress_str(target).size();
+    horizontal_total += gen->compress(compressors::as_byte_span(target)).size();
   }
   const double horizontal_ms = sw.elapsed_ms();
   std::printf("  vertical:   %8zu bytes total, %7.1f ms\n", vertical_total,

@@ -110,7 +110,7 @@ void BM_Compress(benchmark::State& state, const char* name) {
   const auto codec = compressors::make_compressor(name);
   const auto& s = probe_64k();
   for (auto _ : state) {
-    benchmark::DoNotOptimize(codec->compress_str(s));
+    benchmark::DoNotOptimize(codec->compress(compressors::as_byte_span(s)));
   }
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(s.size()));
@@ -126,9 +126,9 @@ BENCHMARK_CAPTURE(BM_Compress, dnapack, "dnapack");
 void BM_Decompress(benchmark::State& state, const char* name) {
   const auto codec = compressors::make_compressor(name);
   const auto& s = probe_64k();
-  const auto compressed = codec->compress_str(s);
+  const auto compressed = codec->compress(compressors::as_byte_span(s));
   for (auto _ : state) {
-    benchmark::DoNotOptimize(codec->decompress_str(compressed));
+    benchmark::DoNotOptimize(codec->decompress(compressed));
   }
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(s.size()));

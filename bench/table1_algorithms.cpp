@@ -81,7 +81,7 @@ int main() {
   for (const char* name :
        {"ctw", "dnax", "gencompress", "gzip", "bio2", "xm", "dnapack"}) {
     const auto codec = compressors::make_compressor(name);
-    const auto out = codec->compress_str(palindromic);
+    const auto out = codec->compress(compressors::as_byte_span(palindromic));
     std::printf("  %-12s %.3f bpc\n", name,
                 8.0 * static_cast<double>(out.size()) /
                     static_cast<double>(palindromic.size()));
@@ -99,10 +99,10 @@ int main() {
     const auto codec = compressors::make_compressor(name);
     util::TrackingResource mem;
     util::Stopwatch sw;
-    const auto out = codec->compress_str(probe, &mem);
+    const auto out = codec->compress(compressors::as_byte_span(probe), &mem);
     const double tc = sw.elapsed_ms();
     sw.reset();
-    const auto back = codec->decompress_str(out);
+    const auto back = compressors::bytes_to_string(codec->decompress(out));
     const double td = sw.elapsed_ms();
     if (back != probe) {
       std::printf("ROUND TRIP FAILED for %s\n", name);

@@ -3,16 +3,27 @@
 //   dnacomp_cli list
 //   dnacomp_cli cleanse <in.fa> <out.txt>
 //   dnacomp_cli compress -a <algo> [--blocked] [--block-size <bytes>] <in> <out.dcz>
+//   dnacomp_cli compress -a <algo> --stream <in.txt> <out.dcz>
 //   dnacomp_cli compress --reference <ref.fa> <in> <out.dcz>   (vertical mode)
-//   dnacomp_cli decompress [--reference <ref.fa>] <in.dcz> <out>
+//   dnacomp_cli decompress [--stream] [--reference <ref.fa>] <in.dcz> <out>
 //   dnacomp_cli info <in.dcz>
 //   dnacomp_cli select [--bandwidth <mbps>] <in>
 //   dnacomp_cli measure <in>
 //   dnacomp_cli serve-sim [--requests N] [--concurrency K] [--fault-rate p]
 //
+// --stream runs the file-to-file streaming engine (src/stream): the input is
+// never materialized, working memory stays O(pipeline_depth x block size).
+// Because the file is read in raw chunks, `compress --stream` expects
+// already-cleansed ACGT text (run `cleanse` first); the whole-buffer path
+// keeps cleansing automatically. Decompression self-detects the stream
+// format, so --algorithm is never needed there.
+//
 // serve-sim drives the exchange::ExchangeService under concurrent load with
 // injected transfer faults and prints throughput / latency percentiles /
-// retry and cache statistics. By default it trains a small CART selector at
+// retry and cache statistics. Blocked cache-miss uploads stream through the
+// compress-while-upload pipeline by default (--no-pipeline restores the
+// compress-everything-then-upload path, --pipeline-depth bounds in-flight
+// blocks). By default it trains a small CART selector at
 // startup; --model loads a saved classifier JSON instead, --fallback skips
 // selection entirely (always DNAX).
 //
@@ -43,6 +54,7 @@
 #include "obs/metrics.h"
 #include "sequence/cleanser.h"
 #include "sequence/corpus.h"
+#include "stream/streaming.h"
 #include "util/timer.h"
 
 using namespace dnacomp;
@@ -57,8 +69,10 @@ int usage() {
       "  dnacomp_cli cleanse <in> <out>\n"
       "  dnacomp_cli compress -a <algo> [--blocked] [--block-size <bytes>] "
       "<in> <out>\n"
+      "  dnacomp_cli compress -a <algo> --stream [--block-size <bytes>] "
+      "<in> <out>\n"
       "  dnacomp_cli compress --reference <ref> <in> <out>\n"
-      "  dnacomp_cli decompress [--reference <ref>] <in> <out>\n"
+      "  dnacomp_cli decompress [--stream] [--reference <ref>] <in> <out>\n"
       "  dnacomp_cli info <in>\n"
       "  dnacomp_cli select [--bandwidth <mbps>] <in>\n"
       "  dnacomp_cli measure <in>\n"
@@ -67,7 +81,12 @@ int usage() {
       "                        [--seed <s>] [--model <in.json>]\n"
       "                        [--save-model <out.json>] [--fallback]\n"
       "                        [--dcb-threshold <bytes>]\n"
+      "                        [--no-pipeline] [--pipeline-depth <n>]\n"
       "options:\n"
+      "  --stream                file-to-file streaming engine, bounded "
+      "memory\n"
+      "                          (compress --stream wants pre-cleansed "
+      "input)\n"
       "  --metrics-json <path>   dump the metrics registry as JSON on exit\n");
   return 2;
 }
@@ -99,15 +118,13 @@ std::string cleanse_file(const std::string& path,
 }
 
 int cmd_list() {
-  std::printf("paper algorithms:\n");
-  for (const auto& c : compressors::make_all_compressors(false)) {
-    std::printf("  %-12s (%s)\n", std::string(c->name()).c_str(),
-                std::string(c->family()).c_str());
+  // The registry is the single source of truth for names.
+  std::printf("algorithms:\n");
+  for (const auto name : compressors::list_algorithm_names()) {
+    const auto codec = compressors::make_compressor(name);
+    std::printf("  %-12s (%s)\n", std::string(name).c_str(),
+                std::string(codec->family()).c_str());
   }
-  std::printf("extensions:\n");
-  std::printf("  %-12s (%s)\n", "bio2", "substitution, BioCompress-2 style");
-  std::printf("  %-12s (%s)\n", "xm", "statistical, expert model");
-  std::printf("  %-12s (%s)\n", "dnapack", "substitution-approximate, DP parse");
   std::printf("  %-12s (%s)\n", "vertical",
               "reference-based; use --reference");
   return 0;
@@ -123,6 +140,41 @@ int cmd_cleanse(const std::string& in, const std::string& out) {
       "%zu)\n",
       report.input_bytes, report.output_bases, report.header_lines_removed,
       report.ambiguity_resolved);
+  return 0;
+}
+
+// File-to-file streaming compress: the input is read in block-sized chunks
+// and never cleansed (it must already be ACGT text, or arbitrary bytes for
+// gzip); peak memory is bounded by pipeline_depth x block size.
+int cmd_compress_stream(const std::string& algo, std::size_t block_bytes,
+                        const std::string& in, const std::string& out) {
+  const auto codec = compressors::make_compressor(algo);
+  if (codec == nullptr) {
+    std::fprintf(stderr, "unknown algorithm: %s (try 'list')\n", algo.c_str());
+    return 2;
+  }
+  if (block_bytes == 0) {
+    std::fprintf(stderr, "--block-size must be positive\n");
+    return 2;
+  }
+  util::Stopwatch sw;
+  stream::StreamOptions opts;
+  opts.block_bytes = block_bytes;
+  const auto res = stream::compress_file(*codec, in, out, opts);
+  if (!res.has_value()) {
+    std::fprintf(stderr, "compress --stream: %s\n",
+                 res.error().message.c_str());
+    return 1;
+  }
+  std::printf("%llu bases -> %llu bytes (%.3f bpc) in %.1f ms, %zu blocks "
+              "streamed\n",
+              static_cast<unsigned long long>(res->plain_bytes),
+              static_cast<unsigned long long>(res->stream_bytes),
+              res->plain_bytes == 0
+                  ? 0.0
+                  : 8.0 * static_cast<double>(res->stream_bytes) /
+                        static_cast<double>(res->plain_bytes),
+              sw.elapsed_ms(), res->block_count);
   return 0;
 }
 
@@ -153,11 +205,14 @@ int cmd_compress(const std::string& algo, const std::string& reference,
       }
       util::ThreadPool pool;
       packed = compressors::compress_blocked(
-          *codec,
-          {reinterpret_cast<const std::uint8_t*>(seq.data()), seq.size()},
-          pool, block_bytes);
+          *codec, compressors::as_byte_span(seq), pool, block_bytes);
     } else {
-      packed = codec->compress_str(seq);
+      auto res = codec->try_compress(compressors::as_byte_span(seq));
+      if (!res.has_value()) {
+        std::fprintf(stderr, "compress: %s\n", res.error().message.c_str());
+        return 1;
+      }
+      packed = std::move(*res);
     }
   }
   const double ms = sw.elapsed_ms();
@@ -171,30 +226,32 @@ int cmd_compress(const std::string& algo, const std::string& reference,
   return 0;
 }
 
+// File-to-file streaming decompress: blocks are fetched, decoded and
+// CRC-verified incrementally; only works on DCB container streams (mono and
+// vertical streams have no block structure to stream over).
+int cmd_decompress_stream(const std::string& in, const std::string& out) {
+  util::Stopwatch sw;
+  const auto res = stream::decompress_file(in, out);
+  if (!res.has_value()) {
+    std::fprintf(stderr, "decompress --stream: %s\n",
+                 res.error().message.c_str());
+    return 1;
+  }
+  std::printf("%llu bytes -> %llu bases in %.1f ms, %zu blocks verified\n",
+              static_cast<unsigned long long>(res->stream_bytes),
+              static_cast<unsigned long long>(res->plain_bytes),
+              sw.elapsed_ms(), res->block_count);
+  return 0;
+}
+
 int cmd_decompress(const std::string& reference, const std::string& in,
                    const std::string& out) {
   const auto raw = read_file(in);
-  const std::span<const std::uint8_t> data(
-      reinterpret_cast<const std::uint8_t*>(raw.data()), raw.size());
-  if (data.size() < 3 || data[0] != 'D' || data[1] != 'C') {
-    std::fprintf(stderr, "%s is not a dnacomp stream\n", in.c_str());
-    return 2;
-  }
+  const std::span<const std::uint8_t> data = compressors::as_byte_span(raw);
   util::Stopwatch sw;
   std::string text;
-  if (compressors::is_dcb_stream(data)) {
-    const auto header = compressors::read_dcb_header(data);
-    const auto name = compressors::algorithm_name(header.algorithm);
-    const auto codec = compressors::make_compressor(name);
-    if (codec == nullptr) {
-      std::fprintf(stderr, "DCB stream uses unknown algorithm id %u\n",
-                   static_cast<unsigned>(header.algorithm));
-      return 2;
-    }
-    util::ThreadPool pool;
-    const auto bytes = compressors::decompress_blocked(*codec, data, pool);
-    text.assign(reinterpret_cast<const char*>(bytes.data()), bytes.size());
-  } else if (data[2] == 6) {  // vertical stream
+  if (!compressors::is_dcb_stream(data) && data.size() >= 3 &&
+      data[0] == 'D' && data[1] == 'C' && data[2] == 6) {  // vertical stream
     if (reference.empty()) {
       std::fprintf(stderr,
                    "vertical stream: pass --reference <the same reference "
@@ -204,14 +261,15 @@ int cmd_decompress(const std::string& reference, const std::string& in,
     const compressors::RefCompressor codec(cleanse_file(reference));
     text = codec.decompress(data);
   } else {
-    const auto name = compressors::algorithm_name(
-        static_cast<compressors::AlgorithmId>(data[2]));
-    const auto codec = compressors::make_compressor(name);
-    if (codec == nullptr) {
-      std::fprintf(stderr, "stream uses unknown algorithm id %u\n", data[2]);
-      return 2;
+    // Self-detecting: DCB container or mono stream, algorithm resolved from
+    // the stream's own header — no --algorithm needed.
+    auto res = compressors::decompress_auto(data);
+    if (!res.has_value()) {
+      std::fprintf(stderr, "decompress: %s\n", res.error().message.c_str());
+      return res.error().code == compressors::CodecErrorCode::kBadMagic ? 2
+                                                                        : 1;
     }
-    text = codec->decompress_str(data);
+    text = compressors::bytes_to_string(*res);
   }
   write_file(out, {reinterpret_cast<const std::uint8_t*>(text.data()),
                    text.size()});
@@ -245,26 +303,27 @@ int cmd_info(const std::string& in) {
                           static_cast<double>(header.original_size));
     return 0;
   }
-  std::size_t pos = 3;
-  const auto original = compressors::get_varint(data, &pos);
-  if (data[2] == 6) {
+  // Self-detecting mono header: the stream declares its own algorithm id.
+  const auto header = compressors::read_header(data);
+  if (static_cast<std::uint8_t>(header.algorithm) == 6) {  // vertical
+    std::size_t pos = header.header_bytes;
     const auto fp = compressors::get_varint(data, &pos);
     std::printf("vertical (reference-based) stream\n");
     std::printf("original: %llu bases, reference fingerprint %016llx\n",
-                static_cast<unsigned long long>(original),
+                static_cast<unsigned long long>(header.original_size),
                 static_cast<unsigned long long>(fp));
   } else {
     std::printf("algorithm: %s\n",
-                std::string(compressors::algorithm_name(
-                                static_cast<compressors::AlgorithmId>(data[2])))
+                std::string(compressors::algorithm_name(header.algorithm))
                     .c_str());
     std::printf("original: %llu bases\n",
-                static_cast<unsigned long long>(original));
+                static_cast<unsigned long long>(header.original_size));
   }
   std::printf("stream: %zu bytes (%.3f bpc)\n", data.size(),
-              original == 0 ? 0.0
-                            : 8.0 * static_cast<double>(data.size()) /
-                                  static_cast<double>(original));
+              header.original_size == 0
+                  ? 0.0
+                  : 8.0 * static_cast<double>(data.size()) /
+                        static_cast<double>(header.original_size));
   return 0;
 }
 
@@ -320,6 +379,8 @@ struct ServeSimOptions {
   std::string save_model_path;  // persist the trained/loaded model
   bool fallback = false;        // no model: always DNAX
   std::size_t dcb_threshold = 262144;
+  bool no_pipeline = false;     // disable streamed compress-while-upload
+  std::size_t pipeline_depth = 4;
 };
 
 struct OwnedModel {
@@ -394,6 +455,8 @@ int cmd_serve_sim(const ServeSimOptions& sim) {
   opts.faults.drop_probability = sim.fault_rate;
   opts.faults.timeout_probability = sim.timeout_rate;
   opts.faults.seed = sim.seed;
+  opts.pipelined_upload = !sim.no_pipeline;
+  opts.pipeline_depth = sim.pipeline_depth;
   exchange::ExchangeService service(store, selector.model,
                                     selector.algorithms, opts);
 
@@ -422,7 +485,8 @@ int cmd_serve_sim(const ServeSimOptions& sim) {
   while (!in_flight.empty()) drain_one();
   const double wall_ms = wall.elapsed_ms();
 
-  std::size_t ok = 0, failures = 0, retries = 0;
+  std::size_t ok = 0, failures = 0, retries = 0, pipelined = 0;
+  double pipeline_ms = 0.0, sequential_ms = 0.0;
   std::vector<double> latencies;
   latencies.reserve(reports.size());
   for (const auto& r : reports) {
@@ -430,11 +494,17 @@ int cmd_serve_sim(const ServeSimOptions& sim) {
       ++ok;
     } else {
       ++failures;
-      std::fprintf(stderr, "request %llu: %s\n",
+      std::fprintf(stderr, "request %llu: %s%s%s\n",
                    static_cast<unsigned long long>(r.request_id),
-                   std::string(exchange::status_name(r.status)).c_str());
+                   std::string(exchange::status_name(r.status)).c_str(),
+                   r.error.empty() ? "" : " — ", r.error.c_str());
     }
     retries += r.fault_trace.size();
+    if (r.pipelined) {
+      ++pipelined;
+      pipeline_ms += r.simulated_pipeline_ms;
+      sequential_ms += r.simulated_sequential_ms;
+    }
     latencies.push_back(r.total_ms + r.stages.queue_ms);
   }
   std::sort(latencies.begin(), latencies.end());
@@ -449,6 +519,12 @@ int cmd_serve_sim(const ServeSimOptions& sim) {
               percentile(latencies, 0.50), percentile(latencies, 0.99));
   std::printf("retries: %zu faulted attempts across %zu requests\n", retries,
               reports.size());
+  if (pipelined > 0) {
+    std::printf(
+        "pipelined uploads: %zu, projected overlap win %.0f ms "
+        "(%.0f ms pipelined vs %.0f ms sequential)\n",
+        pipelined, sequential_ms - pipeline_ms, pipeline_ms, sequential_ms);
+  }
   std::printf("cache: %zu hits / %zu misses (%.0f%% hit rate), %zu bytes\n",
               stats.cache_hits, stats.cache_misses,
               100.0 * stats.cache_hit_rate, stats.cache_bytes);
@@ -467,6 +543,7 @@ int main(int argc, char** argv) {
     std::string algo = "dnax", reference, metrics_json;
     double bandwidth = 8.0;
     bool blocked = false;
+    bool streamed = false;
     std::size_t block_bytes = compressors::kDcbDefaultBlockBytes;
     ServeSimOptions sim;
     std::vector<std::string> positional;
@@ -480,6 +557,8 @@ int main(int argc, char** argv) {
         bandwidth = std::stod(argv[++i]);
       } else if (arg == "--blocked") {
         blocked = true;
+      } else if (arg == "--stream") {
+        streamed = true;
       } else if (arg == "--block-size" && i + 1 < argc) {
         block_bytes = static_cast<std::size_t>(std::stoull(argv[++i]));
       } else if (arg == "--requests" && i + 1 < argc) {
@@ -500,6 +579,10 @@ int main(int argc, char** argv) {
         sim.fallback = true;
       } else if (arg == "--dcb-threshold" && i + 1 < argc) {
         sim.dcb_threshold = static_cast<std::size_t>(std::stoull(argv[++i]));
+      } else if (arg == "--no-pipeline") {
+        sim.no_pipeline = true;
+      } else if (arg == "--pipeline-depth" && i + 1 < argc) {
+        sim.pipeline_depth = static_cast<std::size_t>(std::stoull(argv[++i]));
       } else if (arg == "--metrics-json" && i + 1 < argc) {
         metrics_json = argv[++i];
       } else if (arg.rfind("--metrics-json=", 0) == 0) {
@@ -514,10 +597,22 @@ int main(int argc, char** argv) {
         return cmd_cleanse(positional[0], positional[1]);
       }
       if (cmd == "compress" && positional.size() == 2) {
+        if (streamed) {
+          if (blocked || !reference.empty()) {
+            std::fprintf(stderr,
+                         "--stream excludes --blocked and --reference\n");
+            return 2;
+          }
+          return cmd_compress_stream(algo, block_bytes, positional[0],
+                                     positional[1]);
+        }
         return cmd_compress(algo, reference, blocked, block_bytes,
                             positional[0], positional[1]);
       }
       if (cmd == "decompress" && positional.size() == 2) {
+        if (streamed) {
+          return cmd_decompress_stream(positional[0], positional[1]);
+        }
         return cmd_decompress(reference, positional[0], positional[1]);
       }
       if (cmd == "info" && positional.size() == 1) {

@@ -45,18 +45,27 @@ int main(int argc, char** argv) {
               raw.size(), cleansed.sequence.size(),
               cleansed.report.header_lines_removed);
 
-  // 3. Run every compressor.
+  // 3. Run every compressor through the non-throwing Result surface.
   util::TablePrinter table({"algorithm", "family", "compressed", "bpc",
                             "compress ms", "decompress ms", "peak RAM"});
   for (const auto& codec : compressors::make_all_compressors(true)) {
     util::TrackingResource mem;
     util::Stopwatch sw;
-    const auto compressed = codec->compress_str(cleansed.sequence, &mem);
+    auto packed = codec->try_compress(
+        compressors::as_byte_span(cleansed.sequence), &mem);
+    if (!packed.has_value()) {
+      std::fprintf(stderr, "%s: compress failed: %s\n",
+                   std::string(codec->name()).c_str(),
+                   packed.error().message.c_str());
+      return 1;
+    }
+    const auto& compressed = packed.value();
     const double tc = sw.elapsed_ms();
     sw.reset();
-    const auto restored = codec->decompress_str(compressed);
+    auto unpacked = codec->try_decompress(compressed);
     const double td = sw.elapsed_ms();
-    if (restored != cleansed.sequence) {
+    if (!unpacked.has_value() ||
+        compressors::bytes_to_string(unpacked.value()) != cleansed.sequence) {
       std::fprintf(stderr, "round-trip failed for %s\n",
                    std::string(codec->name()).c_str());
       return 1;

@@ -104,6 +104,43 @@ double TransferModel::upload_time_blocked_ms(std::size_t bytes,
   return pipeline_ms + request_ms;
 }
 
+double TransferModel::upload_block_time_ms(std::size_t bytes,
+                                           const VmSpec& client) const {
+  DC_CHECK(client.cpu_ghz > 0.0 && client.bandwidth_mbps > 0.0);
+  const auto fbytes = static_cast<double>(bytes);
+
+  // Per-block serialization: only this block occupies the transfer buffer,
+  // so the thrashing penalty applies to the block size, as in the blocked
+  // path.
+  double ser_rate = p_.serialize_mbps_at_ref *
+                    (client.cpu_ghz / p_.reference_cpu_ghz) /
+                    ram_speed_factor(client);
+  const double buffer =
+      client.ram_gb * 1024.0 * kBytesPerMB * p_.buffer_ram_fraction;
+  if (fbytes > buffer) {
+    const double over = fbytes / buffer;
+    ser_rate /= std::min(p_.max_ram_slowdown, 1.0 + 0.5 * (over - 1.0));
+  }
+  const double serialize_ms = fbytes / (ser_rate * kBytesPerMB) * 1000.0;
+  const double wire_ms =
+      fbytes * 8.0 / (client.bandwidth_mbps * kBitsPerMegabit) * 1000.0;
+  return serialize_ms + wire_ms + p_.block_latency_ms;
+}
+
+double TransferModel::upload_pipelined_ms(
+    std::span<const double> compress_ms,
+    std::span<const std::size_t> block_sizes, const VmSpec& client) const {
+  DC_CHECK(compress_ms.size() == block_sizes.size());
+  double ready = 0.0;
+  double finish = 0.0;
+  for (std::size_t i = 0; i < block_sizes.size(); ++i) {
+    ready += compress_ms[i];
+    finish = std::max(finish, ready) +
+             upload_block_time_ms(block_sizes[i], client);
+  }
+  return finish;
+}
+
 double TransferModel::download_time_ms(std::size_t bytes) const {
   const auto fbytes = static_cast<double>(bytes);
   const double wire_ms =

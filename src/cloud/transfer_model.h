@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 
 #include "cloud/vm.h"
 
@@ -69,6 +70,24 @@ class TransferModel {
   // monolithic upload_time_ms.
   double upload_time_blocked_ms(std::size_t bytes, std::size_t n_blocks,
                                 const VmSpec& client) const;
+
+  // One streamed Put Block: serialization + wire + one request round trip
+  // for a single container block of `bytes`. This is the unit cost of the
+  // compress-while-upload pipeline — the block is shipped on its own, so
+  // unlike upload_time_blocked_ms no cross-block overlap is assumed here
+  // (the overlap the pipeline buys is against *compression*, modeled by
+  // upload_pipelined_ms).
+  double upload_block_time_ms(std::size_t bytes, const VmSpec& client) const;
+
+  // Compress-while-upload overlap model. Block k becomes ready at
+  // ready_k = sum(compress_ms[0..k]) (compression is one sequential
+  // stream), and its Put Block starts when it is ready AND the uploader is
+  // free: finish_k = max(finish_{k-1}, ready_k) + upload_block_time_ms(k).
+  // Returns finish of the last block. Append a final entry with
+  // compress_ms 0 for the header block (it is ready with the last payload).
+  double upload_pipelined_ms(std::span<const double> compress_ms,
+                             std::span<const std::size_t> block_sizes,
+                             const VmSpec& client) const;
 
   // Storage account -> cloud VM.
   double download_time_ms(std::size_t bytes) const;

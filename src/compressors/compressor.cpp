@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "compressors/container.h"
 #include "compressors/bio2/bio2.h"
 #include "compressors/ctw/ctw.h"
 #include "compressors/dnapack/dnapack.h"
@@ -12,6 +13,7 @@
 #include "compressors/xm/xm.h"
 #include "sequence/alphabet.h"
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace dnacomp::compressors {
 
@@ -35,6 +37,54 @@ std::string_view algorithm_name(AlgorithmId id) {
       return "naive2";
   }
   return "unknown";
+}
+
+std::string_view codec_error_name(CodecErrorCode code) {
+  switch (code) {
+    case CodecErrorCode::kBadMagic:
+      return "bad_magic";
+    case CodecErrorCode::kWrongAlgorithm:
+      return "wrong_algorithm";
+    case CodecErrorCode::kCorruptStream:
+      return "corrupt_stream";
+    case CodecErrorCode::kNotDna:
+      return "not_dna";
+    case CodecErrorCode::kTruncated:
+      return "truncated";
+  }
+  return "?";
+}
+
+CodecError codec_error_from_current_exception() {
+  try {
+    throw;
+  } catch (const CodecFailure& e) {
+    return {e.code(), e.what()};
+  } catch (const std::invalid_argument& e) {
+    // The shared require_dna_codes guard (and codec-local input validation)
+    // signals non-DNA input with invalid_argument.
+    return {CodecErrorCode::kNotDna, e.what()};
+  } catch (const std::exception& e) {
+    return {CodecErrorCode::kCorruptStream, e.what()};
+  }
+}
+
+CodecResult<std::vector<std::uint8_t>> Compressor::try_compress(
+    std::span<const std::uint8_t> input, util::TrackingResource* mem) const {
+  try {
+    return compress(input, mem);
+  } catch (...) {
+    return codec_error_from_current_exception();
+  }
+}
+
+CodecResult<std::vector<std::uint8_t>> Compressor::try_decompress(
+    std::span<const std::uint8_t> input, util::TrackingResource* mem) const {
+  try {
+    return decompress(input, mem);
+  } catch (...) {
+    return codec_error_from_current_exception();
+  }
 }
 
 std::vector<std::uint8_t> Compressor::compress_str(
@@ -63,14 +113,18 @@ std::uint64_t get_varint(std::span<const std::uint8_t> data,
   std::uint64_t v = 0;
   unsigned shift = 0;
   for (;;) {
-    if (*pos >= data.size() || shift > 63) {
-      throw std::runtime_error("varint: truncated or overlong");
+    if (*pos >= data.size()) {
+      throw CodecFailure(CodecErrorCode::kTruncated, "varint: truncated");
+    }
+    if (shift > 63) {
+      throw CodecFailure(CodecErrorCode::kCorruptStream, "varint: overlong");
     }
     const std::uint8_t b = data[(*pos)++];
     // The 10th byte may only carry the 64th bit; anything above it would be
     // silently truncated by the shift, so reject it as overflow.
     if (shift == 63 && (b & 0x7E) != 0) {
-      throw std::runtime_error("varint: value overflows 64 bits");
+      throw CodecFailure(CodecErrorCode::kCorruptStream,
+                         "varint: value overflows 64 bits");
     }
     v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
     if ((b & 0x80) == 0) return v;
@@ -86,22 +140,33 @@ void write_header(std::vector<std::uint8_t>& out, AlgorithmId id,
   put_varint(out, original_size);
 }
 
-StreamHeader read_header(std::span<const std::uint8_t> data,
-                         AlgorithmId expected) {
-  if (data.size() < 4 || data[0] != 'D' || data[1] != 'C') {
-    throw std::runtime_error("compressed stream: bad magic");
+StreamHeader read_header(std::span<const std::uint8_t> data) {
+  if (data.size() < 2 || data[0] != 'D' || data[1] != 'C') {
+    throw CodecFailure(CodecErrorCode::kBadMagic,
+                       "compressed stream: bad magic");
+  }
+  if (data.size() < 3) {
+    throw CodecFailure(CodecErrorCode::kTruncated,
+                       "compressed stream: truncated header");
   }
   StreamHeader h{};
   h.algorithm = static_cast<AlgorithmId>(data[2]);
-  if (h.algorithm != expected) {
-    throw std::runtime_error(
-        std::string("compressed stream: algorithm mismatch, stream is ") +
-        std::string(algorithm_name(h.algorithm)) + ", decoder is " +
-        std::string(algorithm_name(expected)));
-  }
   std::size_t pos = 3;
   h.original_size = get_varint(data, &pos);
   h.header_bytes = pos;
+  return h;
+}
+
+StreamHeader read_header(std::span<const std::uint8_t> data,
+                         AlgorithmId expected) {
+  const StreamHeader h = read_header(data);
+  if (h.algorithm != expected) {
+    throw CodecFailure(
+        CodecErrorCode::kWrongAlgorithm,
+        std::string("compressed stream: algorithm mismatch, stream is ") +
+            std::string(algorithm_name(h.algorithm)) + ", decoder is " +
+            std::string(algorithm_name(expected)));
+  }
   return h;
 }
 
@@ -146,6 +211,68 @@ std::unique_ptr<Compressor> make_compressor(std::string_view name) {
   if (name == "dnapack") return std::make_unique<DnaPackCompressor>();
   if (name == "naive2") return std::make_unique<Naive2Compressor>();
   return nullptr;
+}
+
+std::unique_ptr<Compressor> make_compressor(AlgorithmId id) {
+  switch (id) {
+    case AlgorithmId::kGzipX:
+      return std::make_unique<GzipXCompressor>();
+    case AlgorithmId::kCtw:
+      return std::make_unique<CtwCompressor>();
+    case AlgorithmId::kGenCompress:
+      return std::make_unique<GenCompressCompressor>();
+    case AlgorithmId::kDnaX:
+      return std::make_unique<DnaXCompressor>();
+    case AlgorithmId::kBio2:
+      return std::make_unique<Bio2Compressor>();
+    case AlgorithmId::kXm:
+      return std::make_unique<XmCompressor>();
+    case AlgorithmId::kDnaPack:
+      return std::make_unique<DnaPackCompressor>();
+    case AlgorithmId::kNaive2:
+      return std::make_unique<Naive2Compressor>();
+  }
+  return nullptr;
+}
+
+std::vector<std::string_view> list_algorithm_names() {
+  return {"ctw",  "dnax", "gencompress", "gzip",
+          "bio2", "xm",   "dnapack",     "naive2"};
+}
+
+CodecResult<std::vector<std::uint8_t>> decompress_auto(
+    std::span<const std::uint8_t> data, util::TrackingResource* mem) {
+  try {
+    if (is_dcb_stream(data)) {
+      const DcbHeader header = read_dcb_header(data);
+      auto codec = make_compressor(header.algorithm);
+      if (codec == nullptr) {
+        return CodecError{
+            CodecErrorCode::kWrongAlgorithm,
+            "DCB stream uses unknown algorithm id " +
+                std::to_string(static_cast<unsigned>(header.algorithm))};
+      }
+      util::ThreadPool pool;
+      return decompress_blocked(*codec, data, pool, mem);
+    }
+    const StreamHeader header = read_header(data);
+    if (static_cast<std::uint8_t>(header.algorithm) == 6) {
+      return CodecError{
+          CodecErrorCode::kWrongAlgorithm,
+          "vertical (reference-based) stream: decoding needs the reference "
+          "sequence, pass it explicitly"};
+    }
+    auto codec = make_compressor(header.algorithm);
+    if (codec == nullptr) {
+      return CodecError{
+          CodecErrorCode::kWrongAlgorithm,
+          "stream uses unknown algorithm id " +
+              std::to_string(static_cast<unsigned>(header.algorithm))};
+    }
+    return codec->decompress(data, mem);
+  } catch (...) {
+    return codec_error_from_current_exception();
+  }
 }
 
 }  // namespace dnacomp::compressors

@@ -14,11 +14,13 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "util/memory_tracker.h"
+#include "util/result.h"
 
 namespace dnacomp::compressors {
 
@@ -35,6 +37,76 @@ enum class AlgorithmId : std::uint8_t {
 };
 
 std::string_view algorithm_name(AlgorithmId id);
+
+// ------------------------------------------------------------ error model
+//
+// The public codec boundary is non-throwing: try_compress / try_decompress,
+// decompress_auto and the streaming engine return Result<T, CodecError>.
+// Exceptions remain the *internal* failure mechanism (deep inside a decoder
+// an error has to unwind through many frames anyway); the boundary catches
+// them and maps each onto the closed taxonomy below:
+//
+//   kBadMagic       the bytes do not start with any dnacomp framing
+//                   ('D','C' mono header or 'D','C','B','1' container)
+//   kWrongAlgorithm valid framing, but for a different codec than the one
+//                   decoding (or an algorithm id the registry cannot build)
+//   kCorruptStream  framing is fine but the content is inconsistent: CRC
+//                   mismatch, overlong varint, impossible geometry, decoded
+//                   size mismatch, or any decoder-internal failure
+//   kNotDna         compress input is not strict upper-case ACGT text and
+//                   the codec is DNA-specific (run the Cleanser first)
+//   kTruncated      the stream ends before the header or a payload does
+//
+// The taxonomy is deliberately coarse: callers branch on it (reject the
+// request, re-download, re-cleanse), while `message` keeps the precise
+// diagnostic for logs.
+
+enum class CodecErrorCode : std::uint8_t {
+  kBadMagic = 1,
+  kWrongAlgorithm,
+  kCorruptStream,
+  kNotDna,
+  kTruncated,
+};
+
+std::string_view codec_error_name(CodecErrorCode code);
+
+struct CodecError {
+  CodecErrorCode code = CodecErrorCode::kCorruptStream;
+  std::string message;
+};
+
+template <typename T>
+using CodecResult = util::Result<T, CodecError>;
+
+// Internal exception that already knows its public classification. Derives
+// from std::runtime_error so pre-Result call sites (and tests) that catch
+// runtime_error keep working unchanged.
+class CodecFailure : public std::runtime_error {
+ public:
+  CodecFailure(CodecErrorCode code, const std::string& what)
+      : std::runtime_error(what), code_(code) {}
+  CodecErrorCode code() const noexcept { return code_; }
+
+ private:
+  CodecErrorCode code_;
+};
+
+// Maps an in-flight exception (from a codec or container call) onto the
+// taxonomy. Must be called inside a catch block.
+CodecError codec_error_from_current_exception();
+
+// ----------------------------------------------------- byte/string views
+
+// The span API is the primary surface; these two adapters are all a string
+// call site needs.
+inline std::span<const std::uint8_t> as_byte_span(std::string_view s) {
+  return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+inline std::string bytes_to_string(std::span<const std::uint8_t> bytes) {
+  return std::string(reinterpret_cast<const char*>(bytes.data()),
+                     bytes.size());
+}
 
 class Compressor {
  public:
@@ -58,7 +130,21 @@ class Compressor {
       std::span<const std::uint8_t> input,
       util::TrackingResource* mem = nullptr) const = 0;
 
-  // Convenience overloads for string data.
+  // Non-throwing boundary: same semantics as compress/decompress, with
+  // failures mapped onto the CodecError taxonomy instead of propagating
+  // exceptions. This is the surface the exchange service, the CLI and the
+  // streaming engine use.
+  CodecResult<std::vector<std::uint8_t>> try_compress(
+      std::span<const std::uint8_t> input,
+      util::TrackingResource* mem = nullptr) const;
+  CodecResult<std::vector<std::uint8_t>> try_decompress(
+      std::span<const std::uint8_t> input,
+      util::TrackingResource* mem = nullptr) const;
+
+  // Deprecated: forwarding shims from the pre-span string API. Prefer
+  // compress/decompress (or try_*) with as_byte_span / bytes_to_string; new
+  // code must not add call sites — these remain only so external users get a
+  // release of overlap before removal.
   std::vector<std::uint8_t> compress_str(
       std::string_view s, util::TrackingResource* mem = nullptr) const;
   std::string decompress_str(std::span<const std::uint8_t> data,
@@ -76,10 +162,17 @@ struct StreamHeader {
 void write_header(std::vector<std::uint8_t>& out, AlgorithmId id,
                   std::uint64_t original_size);
 
-// Parses and validates; throws std::runtime_error on bad magic, and checks
-// the algorithm id against `expected`.
+// Parses and validates; throws CodecFailure (a std::runtime_error) on bad
+// magic or truncation, and checks the algorithm id against `expected`
+// (mismatch -> kWrongAlgorithm).
 StreamHeader read_header(std::span<const std::uint8_t> data,
                          AlgorithmId expected);
+
+// Self-detecting overload: parses the header and returns whatever algorithm
+// id the stream declares, without checking it against a decoder. The id is
+// returned as-stored; make_compressor(AlgorithmId) tells you whether the
+// registry can actually build it.
+StreamHeader read_header(std::span<const std::uint8_t> data);
 
 // ------------------------------------------------------------------ varint
 
@@ -98,6 +191,23 @@ std::vector<std::unique_ptr<Compressor>> make_all_compressors(
 // extension name ("bio2", "xm", "dnapack"); returns nullptr for unknown
 // names.
 std::unique_ptr<Compressor> make_compressor(std::string_view name);
+
+// Factory by stream algorithm id — what self-detecting decoders hold after
+// read_header(data). Returns nullptr for ids the registry cannot build
+// (including the reserved vertical id 6, which needs a reference sequence).
+std::unique_ptr<Compressor> make_compressor(AlgorithmId id);
+
+// Every name make_compressor(string) accepts, in registry order. The
+// canonical source for CLI help and for iterating "all codecs" by name.
+std::vector<std::string_view> list_algorithm_names();
+
+// Self-detecting whole-buffer decompression: sniffs the framing (DCB
+// container vs mono codec stream), resolves the codec from the stream's own
+// algorithm id via the registry, and decompresses. DCB payload blocks are
+// decoded on an internal thread pool. Vertical (reference-based) streams
+// return kWrongAlgorithm — they cannot be decoded without the reference.
+CodecResult<std::vector<std::uint8_t>> decompress_auto(
+    std::span<const std::uint8_t> data, util::TrackingResource* mem = nullptr);
 
 // ------------------------------------------------------------- validation
 

@@ -1,5 +1,7 @@
 #include "compressors/container.h"
 
+#include <atomic>
+#include <optional>
 #include <stdexcept>
 #include <string>
 
@@ -21,7 +23,7 @@ void put_u32le(std::vector<std::uint8_t>& out, std::uint32_t v) {
 
 std::uint32_t get_u32le(std::span<const std::uint8_t> data, std::size_t* pos) {
   if (data.size() - *pos < 4) {
-    throw std::runtime_error("DCB: truncated stream");
+    throw CodecFailure(CodecErrorCode::kTruncated, "DCB: truncated stream");
   }
   const std::uint32_t v = static_cast<std::uint32_t>(data[*pos]) |
                           (static_cast<std::uint32_t>(data[*pos + 1]) << 8) |
@@ -44,10 +46,10 @@ bool is_dcb_stream(std::span<const std::uint8_t> data) noexcept {
 
 DcbHeader read_dcb_header(std::span<const std::uint8_t> data) {
   if (!is_dcb_stream(data)) {
-    throw std::runtime_error("DCB: bad magic");
+    throw CodecFailure(CodecErrorCode::kBadMagic, "DCB: bad magic");
   }
   if (data.size() < 5) {
-    throw std::runtime_error("DCB: truncated stream");
+    throw CodecFailure(CodecErrorCode::kTruncated, "DCB: truncated stream");
   }
   DcbHeader h;
   h.algorithm = static_cast<AlgorithmId>(data[4]);
@@ -56,15 +58,17 @@ DcbHeader read_dcb_header(std::span<const std::uint8_t> data) {
   const std::uint64_t block_count = get_varint(data, &pos);
   h.original_size = get_varint(data, &pos);
   if (h.block_size == 0) {
-    throw std::runtime_error("DCB: zero block size");
+    throw CodecFailure(CodecErrorCode::kCorruptStream, "DCB: zero block size");
   }
   if (block_count != blocks_for(h.original_size, h.block_size)) {
-    throw std::runtime_error("DCB: block count does not match geometry");
+    throw CodecFailure(CodecErrorCode::kCorruptStream,
+                       "DCB: block count does not match geometry");
   }
   // Each index entry is at least 5 bytes (1-byte varint + 4-byte CRC), so a
   // count the stream cannot possibly hold is rejected before any allocation.
   if (block_count > (data.size() - pos) / 5) {
-    throw std::runtime_error("DCB: truncated block index");
+    throw CodecFailure(CodecErrorCode::kTruncated,
+                       "DCB: truncated block index");
   }
   h.blocks.reserve(block_count);
   for (std::uint64_t i = 0; i < block_count; ++i) {
@@ -76,7 +80,8 @@ DcbHeader read_dcb_header(std::span<const std::uint8_t> data) {
   const std::uint32_t computed = util::crc32(data.subspan(0, pos));
   const std::uint32_t stored = get_u32le(data, &pos);
   if (computed != stored) {
-    throw std::runtime_error("DCB: header crc mismatch");
+    throw CodecFailure(CodecErrorCode::kCorruptStream,
+                       "DCB: header crc mismatch");
   }
   h.payload_offset = pos;
   return h;
@@ -92,6 +97,10 @@ std::vector<std::uint8_t> compress_blocked(const Compressor& codec,
 
   std::vector<std::vector<std::uint8_t>> payloads(n_blocks);
   std::vector<std::uint32_t> crcs(n_blocks);
+  // The whole-buffer container holds every compressed block until assembly,
+  // so its working set grows with the input; meter that (the streaming
+  // engine's bounded-depth alternative is the contrast, see src/stream).
+  std::atomic<std::size_t> payload_bytes{0};
   pool.parallel_for(n_blocks, [&](std::size_t i) {
     obs::ScopedSpan span("dcb.compress_block");
     const std::size_t off = i * block_bytes;
@@ -99,6 +108,11 @@ std::vector<std::uint8_t> compress_blocked(const Compressor& codec,
     const auto chunk = input.subspan(off, len);
     crcs[i] = util::crc32(chunk);
     payloads[i] = codec.compress(chunk, mem);
+    if (mem != nullptr) {
+      mem->note_external(payloads[i].size());
+      payload_bytes.fetch_add(payloads[i].size(),
+                              std::memory_order_relaxed);
+    }
   });
   auto& reg = obs::MetricsRegistry::global();
   if (reg.enabled()) reg.counter("dcb.blocks_compressed").add(n_blocks);
@@ -114,8 +128,16 @@ std::vector<std::uint8_t> compress_blocked(const Compressor& codec,
     put_u32le(out, crcs[i]);
   }
   put_u32le(out, util::crc32(out));
+  std::size_t total = out.size();
+  for (const auto& p : payloads) total += p.size();
+  out.reserve(total);
+  if (mem != nullptr) mem->note_external(out.capacity());
   for (const auto& p : payloads) {
     out.insert(out.end(), p.begin(), p.end());
+  }
+  if (mem != nullptr) {
+    mem->release_external(out.capacity());
+    mem->release_external(payload_bytes.load(std::memory_order_relaxed));
   }
   return out;
 }
@@ -126,10 +148,11 @@ std::vector<std::uint8_t> decompress_blocked(const Compressor& codec,
                                              util::TrackingResource* mem) {
   const DcbHeader h = read_dcb_header(data);
   if (h.algorithm != codec.id()) {
-    throw std::runtime_error(
+    throw CodecFailure(
+        CodecErrorCode::kWrongAlgorithm,
         std::string("DCB: algorithm mismatch, stream is ") +
-        std::string(algorithm_name(h.algorithm)) + ", decoder is " +
-        std::string(algorithm_name(codec.id())));
+            std::string(algorithm_name(h.algorithm)) + ", decoder is " +
+            std::string(algorithm_name(codec.id())));
   }
 
   // Per-block payload offsets; reject truncation before touching payloads.
@@ -138,7 +161,7 @@ std::vector<std::uint8_t> decompress_blocked(const Compressor& codec,
   for (std::size_t i = 0; i < h.blocks.size(); ++i) {
     offsets[i] = total;
     if (h.blocks[i].compressed_len > data.size() - h.payload_offset - total) {
-      throw std::runtime_error("DCB: truncated payload");
+      throw CodecFailure(CodecErrorCode::kTruncated, "DCB: truncated payload");
     }
     total += h.blocks[i].compressed_len;
   }
@@ -146,6 +169,10 @@ std::vector<std::uint8_t> decompress_blocked(const Compressor& codec,
   auto& reg = obs::MetricsRegistry::global();
   const bool metrics_on = reg.enabled();
   std::vector<std::uint8_t> out(h.original_size);
+  // The whole-buffer inverse materializes the entire plaintext at once;
+  // metered for the same contrast as compress_blocked.
+  std::optional<util::ExternalAllocation> out_mem;
+  if (mem != nullptr) out_mem.emplace(*mem, out.capacity());
   pool.parallel_for(h.blocks.size(), [&](std::size_t i) {
     obs::ScopedSpan span("dcb.decompress_block");
     const auto payload = data.subspan(h.payload_offset + offsets[i],
@@ -155,18 +182,29 @@ std::vector<std::uint8_t> decompress_blocked(const Compressor& codec,
     const std::size_t expected =
         std::min<std::size_t>(h.block_size, h.original_size - off);
     if (plain.size() != expected) {
-      throw std::runtime_error("DCB: block " + std::to_string(i) +
-                               " decoded to wrong size");
+      throw CodecFailure(CodecErrorCode::kCorruptStream,
+                         "DCB: block " + std::to_string(i) +
+                             " decoded to wrong size");
     }
     if (metrics_on) reg.counter("dcb.crc_checks").add(1);
     if (util::crc32(plain) != h.blocks[i].plain_crc32) {
       if (metrics_on) reg.counter("dcb.crc_failures").add(1);
-      throw std::runtime_error("DCB: block " + std::to_string(i) +
-                               " crc mismatch");
+      throw CodecFailure(CodecErrorCode::kCorruptStream,
+                         "DCB: block " + std::to_string(i) + " crc mismatch");
     }
     std::copy(plain.begin(), plain.end(), out.begin() + off);
   });
   return out;
+}
+
+CodecResult<std::vector<std::uint8_t>> try_decompress_blocked(
+    const Compressor& codec, std::span<const std::uint8_t> data,
+    util::ThreadPool& pool, util::TrackingResource* mem) {
+  try {
+    return decompress_blocked(codec, data, pool, mem);
+  } catch (...) {
+    return codec_error_from_current_exception();
+  }
 }
 
 BlockedCompressor::BlockedCompressor(std::unique_ptr<Compressor> inner,

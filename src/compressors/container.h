@@ -80,10 +80,16 @@ std::vector<std::uint8_t> compress_blocked(
     util::ThreadPool& pool, std::size_t block_bytes = kDcbDefaultBlockBytes,
     util::TrackingResource* mem = nullptr);
 
-// Inverse of compress_blocked. Throws std::runtime_error if the stream is
-// not a DCB stream for codec.id(), is truncated, or any block fails its
-// CRC after decompression.
+// Inverse of compress_blocked. Throws CodecFailure (a std::runtime_error)
+// if the stream is not a DCB stream for codec.id(), is truncated, or any
+// block fails its CRC after decompression.
 std::vector<std::uint8_t> decompress_blocked(
+    const Compressor& codec, std::span<const std::uint8_t> data,
+    util::ThreadPool& pool, util::TrackingResource* mem = nullptr);
+
+// Non-throwing boundary over decompress_blocked, mirroring
+// Compressor::try_decompress.
+CodecResult<std::vector<std::uint8_t>> try_decompress_blocked(
     const Compressor& codec, std::span<const std::uint8_t> data,
     util::ThreadPool& pool, util::TrackingResource* mem = nullptr);
 

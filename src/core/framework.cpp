@@ -125,7 +125,7 @@ ExchangeReport ExchangeSession::exchange(std::string_view raw_text,
     codec = compressors::make_compressor(report.algorithm);
     DC_CHECK(codec != nullptr);
     sw.reset();
-    payload = codec->compress_str(cleansed.sequence);
+    payload = codec->compress(compressors::as_byte_span(cleansed.sequence));
     report.compress_ms = sw.elapsed_ms();
   } else {
     report.algorithm = "none";
@@ -157,7 +157,7 @@ ExchangeReport ExchangeSession::exchange(std::string_view raw_text,
   std::string restored;
   if (report.compressed) {
     sw.reset();
-    restored = codec->decompress_str(*downloaded);
+    restored = compressors::bytes_to_string(codec->decompress(*downloaded));
     report.decompress_ms = sw.elapsed_ms();
   } else {
     restored.assign(downloaded->begin(), downloaded->end());

@@ -5,8 +5,11 @@
 #include <stdexcept>
 #include <thread>
 
+#include <numeric>
+
 #include "compressors/compressor.h"
 #include "obs/metrics.h"
+#include "stream/streaming.h"
 #include "util/check.h"
 #include "util/timer.h"
 
@@ -37,6 +40,7 @@ std::string_view status_name(ExchangeStatus s) {
   switch (s) {
     case ExchangeStatus::kOk: return "ok";
     case ExchangeStatus::kRejected: return "rejected";
+    case ExchangeStatus::kBadInput: return "bad_input";
     case ExchangeStatus::kFailedUpload: return "failed_upload";
     case ExchangeStatus::kFailedDownload: return "failed_download";
     case ExchangeStatus::kVerifyFailed: return "verify_failed";
@@ -225,21 +229,38 @@ ExchangeReport ExchangeService::process(
   rep.cache_hit = payload != nullptr;
   const auto codec = compressors::make_compressor(rep.codec);
   DC_CHECK_MSG(codec != nullptr, "unknown codec: " + rep.codec);
-  if (!rep.cache_hit) {
+  // Streamed compress-while-upload applies when there are blocks to overlap
+  // (blocked, not served from cache).
+  rep.pipelined =
+      rep.blocked && opts_.pipelined_upload && !rep.cache_hit;
+  if (!rep.cache_hit && !rep.pipelined) {
     const obs::ScopedSpan s("compress");
     const util::Stopwatch sw;
-    std::vector<std::uint8_t> stream =
-        rep.blocked ? compressors::compress_blocked(*codec, req.sequence,
-                                                    dcb_pool_,
-                                                    opts_.dcb_block_bytes)
-                    : codec->compress(req.sequence);
+    auto packed = [&]() -> compressors::CodecResult<std::vector<std::uint8_t>> {
+      try {
+        return rep.blocked
+                   ? compressors::compress_blocked(*codec, req.sequence,
+                                                   dcb_pool_,
+                                                   opts_.dcb_block_bytes)
+                   : codec->compress(req.sequence);
+      } catch (...) {
+        return compressors::codec_error_from_current_exception();
+      }
+    }();
     rep.stages.compress_ms = sw.elapsed_ms();
+    if (!packed.has_value()) {
+      rep.status = ExchangeStatus::kBadInput;
+      rep.error = packed.error().message;
+      rep.total_ms = total_sw.elapsed_ms();
+      failed_.fetch_add(1);
+      if (reg.enabled()) reg.counter("exchange.failed").add(1);
+      return rep;
+    }
     payload = std::make_shared<const std::vector<std::uint8_t>>(
-        std::move(stream));
+        std::move(packed).value());
     cache_.put(key, payload);
   }
-  rep.payload_bytes = payload->size();
-  if (reg.enabled()) {
+  if (reg.enabled() && !rep.pipelined) {
     reg.counter(rep.cache_hit ? "exchange.cache.hits"
                               : "exchange.cache.misses")
         .add(1);
@@ -251,7 +272,98 @@ ExchangeReport ExchangeService::process(
                   : 1;
 
   // ---- upload (retries) ----------------------------------------------
-  {
+  if (rep.pipelined) {
+    // Fused compress+upload: each sealed DCB block is staged to the store
+    // the moment it compresses, so upload of block k overlaps compression
+    // of block k+1 (the streaming engine's pipeline_depth bound is the
+    // backpressure). The header block is staged after the last payload and
+    // committed first in the block list, which keeps the committed blob
+    // byte-identical to the put_blob path. Fault evaluation happens before
+    // the attempt body runs (see run_with_retries), so a faulted attempt
+    // never leaves partial staged state behind.
+    const obs::ScopedSpan s("compress_upload");
+    const util::Stopwatch sw;
+    std::optional<compressors::CodecError> compress_error;
+    const bool ok = run_with_retries(
+        id, "upload",
+        [&]() -> double {
+          stream::StreamOptions sopts;
+          sopts.block_bytes = opts_.dcb_block_bytes;
+          sopts.pipeline_depth = opts_.pipeline_depth;
+          stream::StreamingCompressor engine(*codec, sopts, &dcb_pool_);
+          stream::MemorySource src(req.sequence);
+
+          std::vector<std::uint8_t> body;
+          std::vector<std::string> block_ids;
+          std::vector<std::size_t> block_sizes;
+          std::lock_guard blob_lk(
+              blob_mu_[std::hash<std::string>{}(rep.blob_name) %
+                       kBlobLockStripes]);
+          auto res = engine.compress(src, [&](const stream::SealedBlock& b) {
+            std::string bid = "s-" + std::to_string(b.index + 1);
+            store_->stage_block(opts_.container, rep.blob_name, bid,
+                                b.payload);
+            block_ids.push_back(std::move(bid));
+            block_sizes.push_back(b.payload.size());
+            body.insert(body.end(), b.payload.begin(), b.payload.end());
+          });
+          if (!res.has_value()) {
+            compress_error = std::move(res).error();
+            return 0.0;
+          }
+          stream::StreamSummary& summary = res.value();
+          store_->stage_block(opts_.container, rep.blob_name, "s-0",
+                              summary.header);
+          block_ids.insert(block_ids.begin(), "s-0");
+          store_->commit_block_list(opts_.container, rep.blob_name,
+                                    block_ids);
+
+          // Projections: per-block overlap vs compress-then-upload. The
+          // header ships last and is ready with the final payload block.
+          std::vector<double> block_ms = summary.block_ms;
+          block_ms.push_back(0.0);
+          block_sizes.push_back(summary.header.size());
+          const double compress_total_ms = std::accumulate(
+              summary.block_ms.begin(), summary.block_ms.end(), 0.0);
+          rep.stages.compress_ms = compress_total_ms;
+          rep.simulated_pipeline_ms =
+              transfer_.upload_pipelined_ms(block_ms, block_sizes,
+                                            req.context);
+          rep.simulated_sequential_ms =
+              compress_total_ms +
+              transfer_.upload_time_blocked_ms(summary.stream_bytes, n_blocks,
+                                               req.context);
+
+          // Memoize the assembled artifact for the cache (repeat requests
+          // skip recompression entirely).
+          std::vector<std::uint8_t> full = std::move(summary.header);
+          full.insert(full.end(), body.begin(), body.end());
+          payload = std::make_shared<const std::vector<std::uint8_t>>(
+              std::move(full));
+          cache_.put(key, payload);
+          return rep.simulated_pipeline_ms;
+        },
+        &rep.upload_attempts, &rep.simulated_upload_ms, &rep.fault_trace);
+    rep.stages.upload_ms = sw.elapsed_ms();
+    if (compress_error.has_value()) {
+      rep.status = ExchangeStatus::kBadInput;
+      rep.error = compress_error->message;
+      rep.total_ms = total_sw.elapsed_ms();
+      failed_.fetch_add(1);
+      if (reg.enabled()) reg.counter("exchange.failed").add(1);
+      return rep;
+    }
+    if (reg.enabled()) reg.counter("exchange.cache.misses").add(1);
+    if (!ok) {
+      rep.status = ExchangeStatus::kFailedUpload;
+      rep.total_ms = total_sw.elapsed_ms();
+      failed_.fetch_add(1);
+      if (reg.enabled()) reg.counter("exchange.failed").add(1);
+      return rep;
+    }
+    rep.payload_bytes = payload->size();
+  } else {
+    rep.payload_bytes = payload->size();
     const obs::ScopedSpan s("upload");
     const util::Stopwatch sw;
     const bool ok = run_with_retries(
@@ -306,11 +418,23 @@ ExchangeReport ExchangeService::process(
   {
     const obs::ScopedSpan s("decompress");
     const util::Stopwatch sw;
-    restored = compressors::is_dcb_stream(downloaded)
-                   ? compressors::decompress_blocked(*codec, downloaded,
-                                                     dcb_pool_)
-                   : codec->decompress(downloaded);
+    auto unpacked =
+        compressors::is_dcb_stream(downloaded)
+            ? compressors::try_decompress_blocked(*codec, downloaded,
+                                                  dcb_pool_)
+            : codec->try_decompress(downloaded);
     rep.stages.decompress_ms = sw.elapsed_ms();
+    if (!unpacked.has_value()) {
+      // A stream that downloaded but does not decode is a failed round
+      // trip, with the codec's diagnosis attached.
+      rep.status = ExchangeStatus::kVerifyFailed;
+      rep.error = unpacked.error().message;
+      rep.total_ms = total_sw.elapsed_ms();
+      failed_.fetch_add(1);
+      if (reg.enabled()) reg.counter("exchange.failed").add(1);
+      return rep;
+    }
+    restored = std::move(unpacked).value();
   }
   {
     const obs::ScopedSpan s("verify");

@@ -20,6 +20,11 @@
 //  * DCB blocking: inputs at or above dcb_threshold_bytes compress through
 //    the parallel block container (own pool, so pipeline workers never wait
 //    on themselves).
+//  * Pipelined upload (opt-in): blocked cache-miss requests stream through
+//    src/stream — each sealed block is staged to the store while the next
+//    compresses, the header commits last, and the report carries the
+//    projected overlap win (simulated_pipeline_ms vs
+//    simulated_sequential_ms).
 //  * Retry with exponential backoff + jitter around upload/download against
 //    an injectable FaultPolicy; all randomness is counter-based, so a seed
 //    fixes every retry trace regardless of thread schedule.
@@ -29,6 +34,7 @@
 //    retries, cache hit rate, per-stage latency spans and histograms.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -61,6 +67,7 @@ struct ExchangeRequest {
 enum class ExchangeStatus : std::uint8_t {
   kOk = 0,
   kRejected,        // admission queue full; nothing ran
+  kBadInput,        // compression rejected the input (CodecError in .error)
   kFailedUpload,    // upload retries exhausted; store untouched
   kFailedDownload,  // download retries exhausted
   kVerifyFailed,    // round trip produced different bytes
@@ -84,6 +91,7 @@ struct ExchangeReport {
   std::string codec;           // chosen by the selector ("" when rejected)
   std::string blob_name;
   bool blocked = false;        // DCB container used
+  bool pipelined = false;      // streamed compress-while-upload path used
   bool cache_hit = false;
   std::uint64_t content_hash = 0;
   std::size_t raw_bytes = 0;
@@ -96,8 +104,13 @@ struct ExchangeReport {
   StageBreakdown stages;
   double simulated_upload_ms = 0.0;    // TransferModel projection
   double simulated_download_ms = 0.0;  // TransferModel projection
+  // Pipelined mode only: projected compress+upload wall-clock with block
+  // overlap vs the compress-everything-then-upload sequential baseline.
+  double simulated_pipeline_ms = 0.0;
+  double simulated_sequential_ms = 0.0;
   double total_ms = 0.0;               // wall time inside the worker
   bool verified = false;
+  std::string error;  // CodecError message for kBadInput / kVerifyFailed
 };
 
 struct ExchangeServiceOptions {
@@ -106,6 +119,13 @@ struct ExchangeServiceOptions {
   std::size_t max_pending = 256;  // admission bound (in-flight requests)
   std::size_t dcb_threshold_bytes = 1 << 20;
   std::size_t dcb_block_bytes = compressors::kDcbDefaultBlockBytes;
+  // Streamed compress-while-upload for blocked cache-miss requests: each
+  // sealed DCB block is staged to the store the moment it compresses
+  // (upload of block k overlaps compression of block k+1, at most
+  // pipeline_depth blocks in flight), and the header block commits last.
+  // The committed blob stays byte-identical to the put_blob path.
+  bool pipelined_upload = false;
+  std::size_t pipeline_depth = 4;
   std::size_t cache_bytes = std::size_t{64} << 20;
   std::string container = "exchange";
   std::string fallback_codec = "dnax";
@@ -176,6 +196,12 @@ class ExchangeService {
   FaultPolicy faults_;
   ArtifactCache cache_;
   ExchangeServiceOptions opts_;
+
+  // Striped per-blob-name locks: commit_block_list clears every staged
+  // block for its blob, so two requests streaming the same blob name must
+  // not interleave their stage/commit sequences.
+  static constexpr std::size_t kBlobLockStripes = 16;
+  std::array<std::mutex, kBlobLockStripes> blob_mu_;
 
   std::shared_ptr<ml::Classifier> default_model_;
   std::vector<std::string> algorithms_;

@@ -1,0 +1,125 @@
+#include "stream/chunk_io.h"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+namespace dnacomp::stream {
+
+std::size_t read_exactly(ChunkSource& src, std::span<std::uint8_t> out) {
+  std::size_t got = 0;
+  while (got < out.size()) {
+    const std::size_t n = src.read(out.subspan(got));
+    if (n == 0) break;
+    got += n;
+  }
+  return got;
+}
+
+// ------------------------------------------------------------------ memory
+
+std::size_t MemorySource::read(std::span<std::uint8_t> out) {
+  std::size_t n = std::min(out.size(), data_.size() - pos_);
+  if (max_read_ != 0) n = std::min(n, max_read_);
+  std::memcpy(out.data(), data_.data() + pos_, n);
+  pos_ += n;
+  return n;
+}
+
+// -------------------------------------------------------------------- file
+
+FileSource::FileSource(const std::string& path)
+    : is_(path, std::ios::binary), path_(path) {
+  if (!is_.good()) {
+    throw std::runtime_error("cannot open " + path);
+  }
+}
+
+std::size_t FileSource::read(std::span<std::uint8_t> out) {
+  is_.read(reinterpret_cast<char*>(out.data()),
+           static_cast<std::streamsize>(out.size()));
+  const auto n = is_.gcount();
+  if (is_.bad()) {
+    throw std::runtime_error("read error on " + path_);
+  }
+  return static_cast<std::size_t>(n);
+}
+
+FileSink::FileSink(const std::string& path)
+    : os_(path, std::ios::binary), path_(path) {
+  if (!os_.good()) {
+    throw std::runtime_error("cannot open " + path + " for writing");
+  }
+}
+
+void FileSink::write(std::span<const std::uint8_t> data) {
+  os_.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+  if (!os_.good()) {
+    throw std::runtime_error("write error on " + path_);
+  }
+}
+
+void FileSink::close() {
+  os_.flush();
+  if (!os_.good()) {
+    throw std::runtime_error("flush error on " + path_);
+  }
+}
+
+// ------------------------------------------------------------ bounded ring
+
+BoundedRing::BoundedRing(std::size_t capacity_bytes)
+    : buf_(capacity_bytes == 0 ? 1 : capacity_bytes) {}
+
+std::size_t BoundedRing::read(std::span<std::uint8_t> out) {
+  if (out.empty()) return 0;
+  std::unique_lock lk(mu_);
+  not_empty_.wait(lk, [&] { return size_ > 0 || closed_; });
+  const std::size_t n = std::min(out.size(), size_);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = buf_[(head_ + i) % buf_.size()];
+  }
+  head_ = (head_ + n) % buf_.size();
+  size_ -= n;
+  lk.unlock();
+  not_full_.notify_one();
+  return n;  // 0 only when closed and drained
+}
+
+void BoundedRing::write(std::span<const std::uint8_t> data) {
+  std::size_t written = 0;
+  while (written < data.size()) {
+    std::unique_lock lk(mu_);
+    not_full_.wait(lk, [&] { return size_ < buf_.size() || closed_; });
+    if (closed_) {
+      throw std::runtime_error("BoundedRing: write after close");
+    }
+    const std::size_t n =
+        std::min(data.size() - written, buf_.size() - size_);
+    const std::size_t tail = (head_ + size_) % buf_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      buf_[(tail + i) % buf_.size()] = data[written + i];
+    }
+    size_ += n;
+    written += n;
+    lk.unlock();
+    not_empty_.notify_one();
+  }
+}
+
+void BoundedRing::close() {
+  {
+    std::lock_guard lk(mu_);
+    closed_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+}
+
+std::size_t BoundedRing::buffered() const {
+  std::lock_guard lk(mu_);
+  return size_;
+}
+
+}  // namespace dnacomp::stream

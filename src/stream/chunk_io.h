@@ -1,0 +1,148 @@
+// Chunked byte I/O for the streaming codec engine.
+//
+// ChunkSource and ChunkSink are the engine's only view of the outside
+// world: a source yields bytes in caller-sized chunks until EOF, a sink
+// accepts bytes in the order they become final. Three adapter families
+// cover the repo's needs:
+//
+//  * Memory   — span-backed source / vector-backed sink, for tests and for
+//               callers that already hold the bytes;
+//  * File     — ifstream/ofstream-backed, the CLI's bounded-memory
+//               file-to-file path;
+//  * BoundedRing — a fixed-capacity blocking SPSC byte ring that is both a
+//               sink (producer side) and a source (consumer side). It is
+//               the backpressure primitive: when the consumer falls behind,
+//               write() blocks the producer until space frees up, so no
+//               stage can run ahead of the ring's capacity.
+//
+// Sources and sinks transport *bytes*; framing (blocks, headers, CRCs) is
+// the streaming engine's job. I/O failures throw std::runtime_error — they
+// are environment errors, not codec errors, and stay on the exception
+// path (the Result<T, CodecError> boundary covers codec-domain failures
+// only).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace dnacomp::stream {
+
+class ChunkSource {
+ public:
+  virtual ~ChunkSource() = default;
+
+  // Reads up to out.size() bytes into out; returns the number of bytes
+  // produced. 0 means end of stream (and every later call returns 0). A
+  // short read is NOT end of stream — sources may dribble (a network
+  // socket, the ring under contention); callers that need exactly n bytes
+  // use read_exactly().
+  virtual std::size_t read(std::span<std::uint8_t> out) = 0;
+};
+
+class ChunkSink {
+ public:
+  virtual ~ChunkSink() = default;
+
+  // Accepts all of data (sinks never short-write; they block or throw).
+  virtual void write(std::span<const std::uint8_t> data) = 0;
+
+  // Signals that no more bytes will be written. Default no-op; the ring
+  // uses it to release blocked readers, the file sink to flush.
+  virtual void close() {}
+};
+
+// Loops src.read() until `out` is full or EOF; returns bytes read (<
+// out.size() only at end of stream).
+std::size_t read_exactly(ChunkSource& src, std::span<std::uint8_t> out);
+
+// ------------------------------------------------------------------ memory
+
+class MemorySource final : public ChunkSource {
+ public:
+  // max_read caps each read() (0 = unlimited) — tests use 1 to prove the
+  // engine tolerates maximally dribbling sources.
+  explicit MemorySource(std::span<const std::uint8_t> data,
+                        std::size_t max_read = 0)
+      : data_(data), max_read_(max_read) {}
+
+  std::size_t read(std::span<std::uint8_t> out) override;
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  std::size_t max_read_;
+};
+
+class MemorySink final : public ChunkSink {
+ public:
+  explicit MemorySink(std::vector<std::uint8_t>& out) : out_(&out) {}
+
+  void write(std::span<const std::uint8_t> data) override {
+    out_->insert(out_->end(), data.begin(), data.end());
+  }
+
+ private:
+  std::vector<std::uint8_t>* out_;
+};
+
+// -------------------------------------------------------------------- file
+
+class FileSource final : public ChunkSource {
+ public:
+  // Throws std::runtime_error if the file cannot be opened.
+  explicit FileSource(const std::string& path);
+
+  std::size_t read(std::span<std::uint8_t> out) override;
+
+ private:
+  std::ifstream is_;
+  std::string path_;
+};
+
+class FileSink final : public ChunkSink {
+ public:
+  // Throws std::runtime_error if the file cannot be opened for writing.
+  explicit FileSink(const std::string& path);
+
+  void write(std::span<const std::uint8_t> data) override;
+  void close() override;
+
+ private:
+  std::ofstream os_;
+  std::string path_;
+};
+
+// ------------------------------------------------------------ bounded ring
+
+// Fixed-capacity single-producer/single-consumer blocking byte ring.
+// write() blocks while the ring is full (backpressure on the producer);
+// read() blocks while it is empty and the producer has not closed. After
+// close(), reads drain the remaining bytes and then return 0.
+class BoundedRing final : public ChunkSource, public ChunkSink {
+ public:
+  explicit BoundedRing(std::size_t capacity_bytes);
+
+  std::size_t read(std::span<std::uint8_t> out) override;
+  void write(std::span<const std::uint8_t> data) override;
+  void close() override;
+
+  std::size_t capacity() const noexcept { return buf_.size(); }
+  // Bytes currently buffered (racy by nature; for tests and gauges).
+  std::size_t buffered() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::vector<std::uint8_t> buf_;
+  std::size_t head_ = 0;  // next byte to read
+  std::size_t size_ = 0;  // bytes buffered
+  bool closed_ = false;
+};
+
+}  // namespace dnacomp::stream

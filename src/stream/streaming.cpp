@@ -1,0 +1,538 @@
+#include "stream/streaming.h"
+
+#include <chrono>
+#include <cstdio>
+#include <deque>
+#include <future>
+#include <stdexcept>
+#include <string>
+
+#include "obs/metrics.h"
+#include "util/check.h"
+#include "util/crc32.h"
+
+namespace dnacomp::stream {
+namespace {
+
+namespace cmp = dnacomp::compressors;
+
+constexpr std::uint8_t kMagic[4] = {'D', 'C', 'B', '1'};
+
+void put_u32le(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// Removes a temp file on scope exit (including the exception paths).
+struct FileRemover {
+  std::string path;
+  ~FileRemover() { std::remove(path.c_str()); }
+};
+
+}  // namespace
+
+// ------------------------------------------------------------- compressor
+
+StreamingCompressor::StreamingCompressor(const cmp::Compressor& codec,
+                                         StreamOptions opts,
+                                         util::ThreadPool* pool)
+    : codec_(&codec), opts_(opts) {
+  DC_CHECK_MSG(opts_.block_bytes > 0, "stream: block size must be positive");
+  DC_CHECK_MSG(opts_.pipeline_depth > 0,
+               "stream: pipeline depth must be positive");
+  if (pool != nullptr) {
+    pool_ = pool;
+  } else {
+    owned_pool_.emplace(opts_.threads);
+    pool_ = &*owned_pool_;
+  }
+}
+
+cmp::CodecResult<StreamSummary> StreamingCompressor::compress(
+    ChunkSource& src, const BlockCallback& on_block,
+    util::TrackingResource* mem) {
+  obs::ScopedSpan span("stream.compress");
+  auto& reg = obs::MetricsRegistry::global();
+  const bool metrics_on = reg.enabled();
+
+  // A block in flight: input buffer pinned until the codec task settles,
+  // payload pinned until the callback has seen it. deque references are
+  // stable across push_back/pop_front, so tasks may hold `&p`. Tasks never
+  // let an exception cross the future — a thrown exception object would be
+  // co-owned by the worker's queue slot and the retiring thread, so codec
+  // failures are converted to a CodecError value inside the task instead.
+  struct Pending {
+    std::size_t index = 0;
+    std::vector<std::uint8_t> input;
+    std::vector<std::uint8_t> payload;
+    std::uint32_t crc = 0;
+    double ms = 0.0;
+    std::optional<cmp::CodecError> error;
+    std::future<void> done;
+  };
+  std::deque<Pending> pending;
+
+  StreamSummary sum;
+  std::vector<cmp::DcbBlockEntry> entries;
+  std::uint64_t payload_total = 0;
+
+  auto release = [&](Pending& p) {
+    if (mem != nullptr) {
+      mem->release_external(p.input.size() + p.payload.size());
+    }
+  };
+  // Wait out every in-flight task (their buffers must outlive them), then
+  // drop metering. Used on all failure paths.
+  auto abort_all = [&] {
+    for (auto& p : pending) {
+      if (p.done.valid()) {
+        try {
+          p.done.get();
+        } catch (...) {
+        }
+      }
+      release(p);
+    }
+    if (metrics_on && !pending.empty()) {
+      reg.gauge("stream.in_flight_blocks")
+          .add(-static_cast<std::int64_t>(pending.size()));
+    }
+    pending.clear();
+  };
+
+  // Retire the oldest block: join its task, hand it to the consumer, fold
+  // it into the index. Returns the codec error on failure (caller aborts).
+  auto retire_front = [&]() -> std::optional<cmp::CodecError> {
+    Pending& p = pending.front();
+    p.done.get();  // never rethrows: the task reports failure via p.error
+    if (p.error.has_value()) {
+      return std::move(p.error);
+    }
+    SealedBlock b;
+    b.index = p.index;
+    b.plain_len = p.input.size();
+    b.plain_crc32 = p.crc;
+    b.compress_ms = p.ms;
+    b.payload = p.payload;
+    on_block(b);  // sink/upload I-O errors propagate as exceptions
+    entries.push_back({p.payload.size(), p.crc});
+    sum.block_ms.push_back(p.ms);
+    payload_total += p.payload.size();
+    release(p);
+    if (metrics_on) {
+      reg.counter("stream.blocks_sealed").add(1);
+      reg.counter("stream.bytes_out").add(p.payload.size());
+      reg.gauge("stream.in_flight_blocks").add(-1);
+    }
+    pending.pop_front();
+    return std::nullopt;
+  };
+
+  try {
+    std::size_t index = 0;
+    for (;;) {
+      std::vector<std::uint8_t> buf(opts_.block_bytes);
+      const std::size_t got = read_exactly(src, buf);
+      if (got == 0) break;
+      buf.resize(got);
+      if (mem != nullptr) mem->note_external(buf.size());
+      sum.plain_bytes += got;
+      if (metrics_on) reg.counter("stream.bytes_in").add(got);
+
+      pending.emplace_back();
+      Pending& p = pending.back();
+      p.index = index++;
+      p.input = std::move(buf);
+      p.done = pool_->submit([this, &p, mem] {
+        obs::ScopedSpan block_span("stream.compress_block");
+        const auto t0 = std::chrono::steady_clock::now();
+        try {
+          p.crc = util::crc32(p.input);
+          p.payload = codec_->compress(p.input, mem);
+        } catch (...) {
+          p.error = cmp::codec_error_from_current_exception();
+          return;
+        }
+        p.ms = ms_since(t0);
+        if (mem != nullptr) mem->note_external(p.payload.size());
+      });
+      if (metrics_on) reg.gauge("stream.in_flight_blocks").add(1);
+
+      if (pending.size() >= opts_.pipeline_depth) {
+        if (auto err = retire_front()) {
+          abort_all();
+          return *err;
+        }
+      }
+      if (got < opts_.block_bytes) break;  // short block == end of stream
+    }
+    while (!pending.empty()) {
+      if (auto err = retire_front()) {
+        abort_all();
+        return *err;
+      }
+    }
+  } catch (...) {
+    abort_all();
+    throw;
+  }
+
+  // Serialize the header exactly as compress_blocked does, so the stream
+  // (header + emitted payloads, in order) is byte-identical to the
+  // whole-buffer container.
+  std::vector<std::uint8_t> header;
+  header.insert(header.end(), std::begin(kMagic), std::end(kMagic));
+  header.push_back(static_cast<std::uint8_t>(codec_->id()));
+  cmp::put_varint(header, opts_.block_bytes);
+  cmp::put_varint(header, entries.size());
+  cmp::put_varint(header, sum.plain_bytes);
+  for (const auto& e : entries) {
+    cmp::put_varint(header, e.compressed_len);
+    put_u32le(header, e.plain_crc32);
+  }
+  put_u32le(header, util::crc32(header));
+
+  sum.block_count = entries.size();
+  sum.stream_bytes = header.size() + payload_total;
+  sum.header = std::move(header);
+  return sum;
+}
+
+// ----------------------------------------------------------- decompressor
+
+StreamingDecompressor::StreamingDecompressor(StreamOptions opts,
+                                             util::ThreadPool* pool)
+    : opts_(opts) {
+  DC_CHECK_MSG(opts_.pipeline_depth > 0,
+               "stream: pipeline depth must be positive");
+  if (pool != nullptr) {
+    pool_ = pool;
+  } else {
+    owned_pool_.emplace(opts_.threads);
+    pool_ = &*owned_pool_;
+  }
+}
+
+cmp::CodecResult<StreamSummary> StreamingDecompressor::decompress(
+    ChunkSource& src, ChunkSink& sink, util::TrackingResource* mem) {
+  obs::ScopedSpan span("stream.decompress");
+  auto& reg = obs::MetricsRegistry::global();
+  const bool metrics_on = reg.enabled();
+
+  // ---- incremental header parse. `hdr` accumulates every byte up to (not
+  // including) the stored header CRC, which is exactly the CRC'd range.
+  std::vector<std::uint8_t> hdr;
+  auto pull = [&](std::size_t n) -> bool {
+    const std::size_t old = hdr.size();
+    hdr.resize(old + n);
+    const std::size_t got =
+        read_exactly(src, std::span(hdr).subspan(old));
+    hdr.resize(old + got);
+    return got == n;
+  };
+  auto fail = [](cmp::CodecErrorCode code, std::string msg) {
+    return cmp::CodecError{code, std::move(msg)};
+  };
+
+  if (!pull(5)) {
+    // A proper prefix of the magic is indistinguishable from a cut-short
+    // stream; bytes that already disagree are simply not DCB.
+    for (std::size_t i = 0; i < hdr.size() && i < 4; ++i) {
+      if (hdr[i] != kMagic[i]) return fail(cmp::CodecErrorCode::kBadMagic,
+                                           "DCB: bad magic");
+    }
+    return fail(cmp::CodecErrorCode::kTruncated, "DCB: truncated stream");
+  }
+  if (hdr[0] != kMagic[0] || hdr[1] != kMagic[1] || hdr[2] != kMagic[2] ||
+      hdr[3] != kMagic[3]) {
+    return fail(cmp::CodecErrorCode::kBadMagic, "DCB: bad magic");
+  }
+  const auto algo = static_cast<cmp::AlgorithmId>(hdr[4]);
+
+  // Pull one varint's bytes (terminator or the 11-byte point where
+  // get_varint must reject as overlong), then let get_varint apply its
+  // exact truncation/overflow rules.
+  std::size_t pos = 5;
+  auto read_varint = [&](std::uint64_t* out)
+      -> std::optional<cmp::CodecError> {
+    const std::size_t start = hdr.size();
+    for (;;) {
+      if (!pull(1)) {
+        return fail(cmp::CodecErrorCode::kTruncated, "varint: truncated");
+      }
+      if ((hdr.back() & 0x80) == 0) break;
+      if (hdr.size() - start >= 11) break;
+    }
+    try {
+      *out = cmp::get_varint(hdr, &pos);
+    } catch (const cmp::CodecFailure& f) {
+      return fail(f.code(), f.what());
+    }
+    return std::nullopt;
+  };
+
+  std::uint64_t block_size = 0, block_count = 0, original_size = 0;
+  if (auto e = read_varint(&block_size)) return *e;
+  if (auto e = read_varint(&block_count)) return *e;
+  if (auto e = read_varint(&original_size)) return *e;
+  if (block_size == 0) {
+    return fail(cmp::CodecErrorCode::kCorruptStream, "DCB: zero block size");
+  }
+  const std::uint64_t expect_blocks =
+      original_size == 0 ? 0 : (original_size + block_size - 1) / block_size;
+  if (block_count != expect_blocks) {
+    return fail(cmp::CodecErrorCode::kCorruptStream,
+                "DCB: block count does not match geometry");
+  }
+
+  std::vector<cmp::DcbBlockEntry> entries;
+  entries.reserve(static_cast<std::size_t>(
+      std::min<std::uint64_t>(block_count, 1u << 16)));
+  for (std::uint64_t i = 0; i < block_count; ++i) {
+    cmp::DcbBlockEntry e;
+    if (auto err = read_varint(&e.compressed_len)) return *err;
+    if (!pull(4)) {
+      return fail(cmp::CodecErrorCode::kTruncated,
+                  "DCB: truncated block index");
+    }
+    e.plain_crc32 = static_cast<std::uint32_t>(hdr[pos]) |
+                    (static_cast<std::uint32_t>(hdr[pos + 1]) << 8) |
+                    (static_cast<std::uint32_t>(hdr[pos + 2]) << 16) |
+                    (static_cast<std::uint32_t>(hdr[pos + 3]) << 24);
+    pos += 4;
+    entries.push_back(e);
+  }
+
+  const std::uint32_t computed = util::crc32(hdr);
+  std::uint8_t crc_buf[4];
+  if (read_exactly(src, crc_buf) != 4) {
+    return fail(cmp::CodecErrorCode::kTruncated, "DCB: truncated stream");
+  }
+  const std::uint32_t stored = static_cast<std::uint32_t>(crc_buf[0]) |
+                               (static_cast<std::uint32_t>(crc_buf[1]) << 8) |
+                               (static_cast<std::uint32_t>(crc_buf[2]) << 16) |
+                               (static_cast<std::uint32_t>(crc_buf[3]) << 24);
+  if (computed != stored) {
+    return fail(cmp::CodecErrorCode::kCorruptStream,
+                "DCB: header crc mismatch");
+  }
+
+  const std::unique_ptr<cmp::Compressor> codec = cmp::make_compressor(algo);
+  if (codec == nullptr) {
+    return fail(cmp::CodecErrorCode::kWrongAlgorithm,
+                "DCB: no decoder for algorithm id " +
+                    std::to_string(static_cast<int>(hdr[4])));
+  }
+
+  StreamSummary sum;
+  sum.block_count = static_cast<std::size_t>(block_count);
+  sum.stream_bytes = hdr.size() + 4;
+
+  // ---- payload pipeline: read block k+1 while blocks <= k decode. As on
+  // the compress side, tasks report failure through p.error rather than
+  // throwing across the future.
+  struct Pending {
+    std::size_t index = 0;
+    std::vector<std::uint8_t> payload;
+    std::vector<std::uint8_t> plain;
+    double ms = 0.0;
+    std::optional<cmp::CodecError> error;
+    std::future<void> done;
+  };
+  std::deque<Pending> pending;
+
+  auto release = [&](Pending& p) {
+    if (mem != nullptr) {
+      mem->release_external(p.payload.size() + p.plain.size());
+    }
+  };
+  auto abort_all = [&] {
+    for (auto& p : pending) {
+      if (p.done.valid()) {
+        try {
+          p.done.get();
+        } catch (...) {
+        }
+      }
+      release(p);
+    }
+    if (metrics_on && !pending.empty()) {
+      reg.gauge("stream.in_flight_blocks")
+          .add(-static_cast<std::int64_t>(pending.size()));
+    }
+    pending.clear();
+  };
+  auto retire_front = [&]() -> std::optional<cmp::CodecError> {
+    Pending& p = pending.front();
+    p.done.get();  // never rethrows: the task reports failure via p.error
+    if (p.error.has_value()) {
+      return std::move(p.error);
+    }
+    sink.write(p.plain);  // sink I-O errors propagate as exceptions
+    sum.plain_bytes += p.plain.size();
+    sum.block_ms.push_back(p.ms);
+    release(p);
+    if (metrics_on) {
+      reg.counter("stream.blocks_verified").add(1);
+      reg.gauge("stream.in_flight_blocks").add(-1);
+    }
+    pending.pop_front();
+    return std::nullopt;
+  };
+
+  try {
+    for (std::uint64_t i = 0; i < block_count; ++i) {
+      const auto& e = entries[static_cast<std::size_t>(i)];
+      std::vector<std::uint8_t> payload(
+          static_cast<std::size_t>(e.compressed_len));
+      if (read_exactly(src, payload) != payload.size()) {
+        abort_all();
+        return fail(cmp::CodecErrorCode::kTruncated,
+                    "DCB: truncated payload");
+      }
+      if (mem != nullptr) mem->note_external(payload.size());
+      sum.stream_bytes += payload.size();
+
+      const std::size_t expected = static_cast<std::size_t>(
+          std::min<std::uint64_t>(block_size, original_size - i * block_size));
+      pending.emplace_back();
+      Pending& p = pending.back();
+      p.index = static_cast<std::size_t>(i);
+      p.payload = std::move(payload);
+      const std::uint32_t want_crc = e.plain_crc32;
+      p.done = pool_->submit([&p, &codec, mem, expected, want_crc, metrics_on,
+                              &reg] {
+        obs::ScopedSpan block_span("stream.decompress_block");
+        const auto t0 = std::chrono::steady_clock::now();
+        try {
+          p.plain = codec->decompress(p.payload, mem);
+        } catch (...) {
+          p.error = cmp::codec_error_from_current_exception();
+          return;
+        }
+        p.ms = ms_since(t0);
+        if (mem != nullptr) mem->note_external(p.plain.size());
+        if (p.plain.size() != expected) {
+          p.error = cmp::CodecError{cmp::CodecErrorCode::kCorruptStream,
+                                    "DCB: block " + std::to_string(p.index) +
+                                        " decoded to wrong size"};
+          return;
+        }
+        if (metrics_on) reg.counter("dcb.crc_checks").add(1);
+        if (util::crc32(p.plain) != want_crc) {
+          if (metrics_on) reg.counter("dcb.crc_failures").add(1);
+          p.error = cmp::CodecError{cmp::CodecErrorCode::kCorruptStream,
+                                    "DCB: block " + std::to_string(p.index) +
+                                        " crc mismatch"};
+        }
+      });
+      if (metrics_on) reg.gauge("stream.in_flight_blocks").add(1);
+
+      if (pending.size() >= opts_.pipeline_depth) {
+        if (auto err = retire_front()) {
+          abort_all();
+          return *err;
+        }
+      }
+    }
+    while (!pending.empty()) {
+      if (auto err = retire_front()) {
+        abort_all();
+        return *err;
+      }
+    }
+  } catch (...) {
+    abort_all();
+    throw;
+  }
+
+  return sum;
+}
+
+// ------------------------------------------------------- assembly helpers
+
+cmp::CodecResult<std::vector<std::uint8_t>> compress_to_vector(
+    const cmp::Compressor& codec, ChunkSource& src, StreamOptions opts,
+    util::TrackingResource* mem) {
+  StreamingCompressor engine(codec, opts);
+  std::vector<std::uint8_t> body;
+  std::optional<util::ExternalAllocation> body_mem;
+  if (mem != nullptr) body_mem.emplace(*mem, 0);
+  auto res = engine.compress(
+      src,
+      [&](const SealedBlock& b) {
+        body.insert(body.end(), b.payload.begin(), b.payload.end());
+        if (body_mem) body_mem->resize(body.capacity());
+      },
+      mem);
+  if (!res.has_value()) return std::move(res).error();
+  std::vector<std::uint8_t> out = std::move(res.value().header);
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+cmp::CodecResult<StreamSummary> compress_file(const cmp::Compressor& codec,
+                                              const std::string& in_path,
+                                              const std::string& out_path,
+                                              StreamOptions opts,
+                                              util::TrackingResource* mem) {
+  StreamingCompressor engine(codec, opts);
+  FileSource src(in_path);
+
+  // The index-first layout means the header is known only after the last
+  // block; payloads spool to a sidecar, then splice in behind the header.
+  const std::string spool_path = out_path + ".spool";
+  FileRemover spool_guard{spool_path};
+
+  StreamSummary summary;
+  {
+    FileSink spool(spool_path);
+    auto res = engine.compress(
+        src, [&](const SealedBlock& b) { spool.write(b.payload); }, mem);
+    if (!res.has_value()) return std::move(res).error();
+    spool.close();
+    summary = std::move(res).value();
+  }
+  {
+    FileSink out(out_path);
+    out.write(summary.header);
+    FileSource spool(spool_path);
+    std::vector<std::uint8_t> buf(256 * 1024);
+    std::optional<util::ExternalAllocation> buf_mem;
+    if (mem != nullptr) buf_mem.emplace(*mem, buf.size());
+    for (;;) {
+      const std::size_t n = spool.read(buf);
+      if (n == 0) break;
+      out.write(std::span(buf).first(n));
+    }
+    out.close();
+  }
+  return summary;
+}
+
+cmp::CodecResult<StreamSummary> decompress_file(const std::string& in_path,
+                                                const std::string& out_path,
+                                                StreamOptions opts,
+                                                util::TrackingResource* mem) {
+  StreamingDecompressor engine(opts);
+  FileSource src(in_path);
+  cmp::CodecResult<StreamSummary> res = [&] {
+    FileSink sink(out_path);
+    auto r = engine.decompress(src, sink, mem);
+    if (r.has_value()) sink.close();
+    return r;
+  }();
+  // Do not leave a half-written plaintext behind a failed verify.
+  if (!res.has_value()) std::remove(out_path.c_str());
+  return res;
+}
+
+}  // namespace dnacomp::stream

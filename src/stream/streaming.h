@@ -1,0 +1,166 @@
+// Streaming codec engine over the DCB block container.
+//
+// The whole-buffer paths (Compressor::compress, compress_blocked) hold the
+// entire input and the entire compressed artifact in memory, so peak RSS
+// scales with file size and nothing downstream can start until the last
+// byte is compressed. This module reframes the same DCB format as a
+// pipeline:
+//
+//   ChunkSource ─▶ [read block] ─▶ [compress ≤ depth blocks in flight,
+//                                   thread pool] ─▶ sealed blocks, in order
+//                                        │
+//                                        ▼ on_block callback
+//                              (upload / spool / ring …)
+//
+// A sealed block is emitted the moment it is compressed AND every earlier
+// block has been emitted, so consumers (an uploader, a file spool) overlap
+// with compression of later blocks. At most `pipeline_depth` blocks are in
+// flight, which bounds the engine's working set at
+// O(pipeline_depth × block_bytes) — independent of input size.
+//
+// Format compatibility: the emitted container is byte-identical to
+// compress_blocked() for the same (codec, input, block_bytes) — same block
+// split, same per-block codec streams, same header. The one structural
+// consequence of the DCB layout is that the header (which carries the
+// per-block index) can only be serialized after the last block seals; it
+// is returned in the summary, and assembly helpers below deal with putting
+// it in front of the payloads for append-only targets. The decompressor
+// side has no such constraint: blocks decode and emit strictly forward.
+//
+// Errors: codec-domain failures (bad magic, truncation, CRC mismatch,
+// non-DNA input, …) return through Result<T, CodecError>; I/O failures
+// from sources/sinks propagate as exceptions (see chunk_io.h).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "compressors/compressor.h"
+#include "compressors/container.h"
+#include "stream/chunk_io.h"
+#include "util/memory_tracker.h"
+#include "util/thread_pool.h"
+
+namespace dnacomp::stream {
+
+struct StreamOptions {
+  std::size_t block_bytes = compressors::kDcbDefaultBlockBytes;
+  // Maximum blocks submitted-but-not-yet-emitted. Bounds both memory and
+  // how far compression may run ahead of the consumer (backpressure: the
+  // driver blocks on the oldest block before reading more input).
+  std::size_t pipeline_depth = 4;
+  // Compression/decompression workers when the engine owns its pool
+  // (0 = hardware concurrency). Ignored when an external pool is passed.
+  std::size_t threads = 0;
+};
+
+// One compressed block, handed to the compressor callback in index order.
+// `payload` points into engine-owned storage and is valid only during the
+// callback.
+struct SealedBlock {
+  std::size_t index = 0;
+  std::uint64_t plain_len = 0;
+  std::uint32_t plain_crc32 = 0;
+  double compress_ms = 0.0;  // codec wall time for this block
+  std::span<const std::uint8_t> payload;
+};
+
+struct StreamSummary {
+  std::uint64_t plain_bytes = 0;   // plaintext total (in for compress,
+                                   // out for decompress)
+  std::uint64_t stream_bytes = 0;  // DCB stream total: header + payloads
+  std::size_t block_count = 0;
+  // Serialized DCB header (magic … header CRC). Filled by the compressor
+  // (it is only known after the last block seals); empty for decompress.
+  std::vector<std::uint8_t> header;
+  // Per-block codec wall time, index order — the input to pipelined
+  // upload accounting (exchange) and the overlap model (bench).
+  std::vector<double> block_ms;
+};
+
+// ------------------------------------------------------------- compressor
+
+class StreamingCompressor {
+ public:
+  using BlockCallback = std::function<void(const SealedBlock&)>;
+
+  // `codec` must outlive the engine. With pool == nullptr the engine owns a
+  // pool sized by opts.threads; otherwise tasks run on the caller's pool
+  // (the exchange service shares its DCB pool across requests this way).
+  explicit StreamingCompressor(const compressors::Compressor& codec,
+                               StreamOptions opts = {},
+                               util::ThreadPool* pool = nullptr);
+
+  // Streams src to EOF. on_block fires in block order as soon as each block
+  // seals; the returned summary carries the serialized header. `mem`
+  // meters the engine's buffers and the codec's working structures; its
+  // peak is O(pipeline_depth × block_bytes) plus the codec per-block state.
+  compressors::CodecResult<StreamSummary> compress(
+      ChunkSource& src, const BlockCallback& on_block,
+      util::TrackingResource* mem = nullptr);
+
+  const StreamOptions& options() const noexcept { return opts_; }
+
+ private:
+  const compressors::Compressor* codec_;
+  StreamOptions opts_;
+  std::optional<util::ThreadPool> owned_pool_;
+  util::ThreadPool* pool_;
+};
+
+// ----------------------------------------------------------- decompressor
+
+class StreamingDecompressor {
+ public:
+  // Self-detecting: the codec is resolved from the stream's own DCB header
+  // via the registry. Pool semantics as for StreamingCompressor.
+  explicit StreamingDecompressor(StreamOptions opts = {},
+                                 util::ThreadPool* pool = nullptr);
+
+  // Streams a DCB stream from src, writing recovered plaintext to sink in
+  // order, verifying each block CRC incrementally. Never materializes more
+  // than pipeline_depth blocks. Non-DCB bytes -> kBadMagic; a stream that
+  // ends mid-header or mid-payload -> kTruncated; CRC / geometry / size
+  // mismatches -> kCorruptStream. The sink is not closed — callers own its
+  // lifecycle (a ring producer will want close(), a borrowed sink won't).
+  compressors::CodecResult<StreamSummary> decompress(
+      ChunkSource& src, ChunkSink& sink,
+      util::TrackingResource* mem = nullptr);
+
+  const StreamOptions& options() const noexcept { return opts_; }
+
+ private:
+  StreamOptions opts_;
+  std::optional<util::ThreadPool> owned_pool_;
+  util::ThreadPool* pool_;
+};
+
+// ------------------------------------------------------- assembly helpers
+
+// In-memory convenience: full DCB stream as one vector, byte-identical to
+// compress_blocked. (Holds all payloads until the header is known — use
+// the file/callback forms for bounded memory.)
+compressors::CodecResult<std::vector<std::uint8_t>> compress_to_vector(
+    const compressors::Compressor& codec, ChunkSource& src,
+    StreamOptions opts = {}, util::TrackingResource* mem = nullptr);
+
+// File-to-file with bounded memory. Because the DCB index precedes the
+// payloads, sealed payload bytes are spooled to `out + ".spool"` while
+// compression runs, then spliced behind the header and the spool removed.
+// Input must already be cleansed ACGT text (or arbitrary bytes for gzip) —
+// the streaming path never materializes the file, so no cleansing pass.
+compressors::CodecResult<StreamSummary> compress_file(
+    const compressors::Compressor& codec, const std::string& in_path,
+    const std::string& out_path, StreamOptions opts = {},
+    util::TrackingResource* mem = nullptr);
+
+// Streaming file-to-file decompress of a DCB stream (self-detecting).
+compressors::CodecResult<StreamSummary> decompress_file(
+    const std::string& in_path, const std::string& out_path,
+    StreamOptions opts = {}, util::TrackingResource* mem = nullptr);
+
+}  // namespace dnacomp::stream

@@ -1,0 +1,121 @@
+// Result<T, E> — a minimal expected-style sum type for typed error returns.
+//
+// The public codec boundary (Compressor::try_compress / try_decompress,
+// decompress_auto, the streaming engine) returns Result<T, CodecError>
+// instead of throwing: exceptions stay internal to the codecs, and callers
+// branch on a typed error they can print, count or retry on without a
+// try/catch at every call site.
+//
+// Semantics follow std::expected (C++23, not yet available under the
+// project's C++20 baseline):
+//  * implicitly constructible from a T (success) or an E (failure);
+//    Result::ok / Result::err disambiguate when T and E convert;
+//  * value() / error() assert the active alternative (DC_CHECK — misuse is
+//    a programming error, not a runtime condition); * and -> are synonyms
+//    for value() access under the same contract;
+//  * map() / and_then() chain computations without unpacking.
+#pragma once
+
+#include <optional>
+#include <utility>
+#include <variant>
+
+#include "util/check.h"
+
+namespace dnacomp::util {
+
+template <typename T, typename E>
+class [[nodiscard]] Result {
+ public:
+  using value_type = T;
+  using error_type = E;
+
+  // Implicit conversions keep call sites light: `return payload;` /
+  // `return CodecError{...};` both work.
+  Result(T value) : v_(std::in_place_index<0>, std::move(value)) {}
+  Result(E error) : v_(std::in_place_index<1>, std::move(error)) {}
+
+  static Result ok(T value) { return Result(std::move(value)); }
+  static Result err(E error) { return Result(std::move(error)); }
+
+  bool has_value() const noexcept { return v_.index() == 0; }
+  explicit operator bool() const noexcept { return has_value(); }
+
+  T& value() & {
+    DC_CHECK_MSG(has_value(), "Result::value() called on an error");
+    return std::get<0>(v_);
+  }
+  const T& value() const& {
+    DC_CHECK_MSG(has_value(), "Result::value() called on an error");
+    return std::get<0>(v_);
+  }
+  T&& value() && {
+    DC_CHECK_MSG(has_value(), "Result::value() called on an error");
+    return std::get<0>(std::move(v_));
+  }
+
+  E& error() & {
+    DC_CHECK_MSG(!has_value(), "Result::error() called on a value");
+    return std::get<1>(v_);
+  }
+  const E& error() const& {
+    DC_CHECK_MSG(!has_value(), "Result::error() called on a value");
+    return std::get<1>(v_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  T value_or(T fallback) const& {
+    return has_value() ? std::get<0>(v_) : std::move(fallback);
+  }
+
+  // Applies fn to the value, passing errors through unchanged.
+  template <typename Fn>
+  auto map(Fn&& fn) const& -> Result<decltype(fn(std::declval<const T&>())), E> {
+    if (has_value()) return fn(std::get<0>(v_));
+    return std::get<1>(v_);
+  }
+
+  // fn must itself return a Result<U, E>; errors short-circuit.
+  template <typename Fn>
+  auto and_then(Fn&& fn) const& -> decltype(fn(std::declval<const T&>())) {
+    if (has_value()) return fn(std::get<0>(v_));
+    return std::get<1>(v_);
+  }
+
+ private:
+  std::variant<T, E> v_;
+};
+
+// Result<void, E>: success carries no payload (e.g. a sink write or an
+// in-place verification).
+template <typename E>
+class [[nodiscard]] Result<void, E> {
+ public:
+  using value_type = void;
+  using error_type = E;
+
+  Result() = default;
+  Result(E error) : error_(std::in_place, std::move(error)) {}
+
+  static Result ok() { return Result(); }
+  static Result err(E error) { return Result(std::move(error)); }
+
+  bool has_value() const noexcept { return !error_.has_value(); }
+  explicit operator bool() const noexcept { return has_value(); }
+
+  const E& error() const {
+    DC_CHECK_MSG(!has_value(), "Result::error() called on a value");
+    return *error_;
+  }
+
+ private:
+  std::optional<E> error_;
+};
+
+}  // namespace dnacomp::util

@@ -99,10 +99,10 @@ TEST_P(DifferentialTest, AllCodecsMonolithicAndBlocked) {
     SCOPED_TRACE(std::string("codec: ") + std::string(codec->name()));
 
     // Monolithic: determinism + exact recovery.
-    const auto mono1 = codec->compress_str(input);
-    const auto mono2 = codec->compress_str(input);
+    const auto mono1 = codec->compress(as_byte_span(input));
+    const auto mono2 = codec->compress(as_byte_span(input));
     EXPECT_EQ(mono1, mono2) << "monolithic stream not deterministic";
-    EXPECT_EQ(codec->decompress_str(mono1), input);
+    EXPECT_EQ(bytes_to_string(codec->decompress(mono1)), input);
     EXPECT_FALSE(is_dcb_stream(mono1));
 
     // Blocked: determinism (independent of thread schedule) + recovery.
@@ -165,7 +165,7 @@ TEST(DifferentialCross, MonolithicStreamRejectedByBlockedDecoder) {
   util::ThreadPool pool(2);
   const auto codec = make_compressor("dnax");
   const std::string input = structured_dna(2048, 37);
-  const auto mono = codec->compress_str(input);
+  const auto mono = codec->compress(as_byte_span(input));
   EXPECT_THROW((void)decompress_blocked(*codec, mono, pool),
                std::runtime_error);
 }

@@ -147,8 +147,8 @@ TEST(GeneratorStats, ReverseComplementRepeatsAreGenerated) {
   gp.mutation_rate = 0.0;
   gp.seed = 33;
   const auto s = sequence::generate_dna(gp);
-  const auto dnax = compressors::make_compressor("dnax")->compress_str(s);
-  const auto bio2 = compressors::make_compressor("bio2")->compress_str(s);
+  const auto dnax = compressors::make_compressor("dnax")->compress(compressors::as_byte_span(s));
+  const auto bio2 = compressors::make_compressor("bio2")->compress(compressors::as_byte_span(s));
   EXPECT_LT(static_cast<double>(dnax.size()),
             0.8 * static_cast<double>(bio2.size()));
 }

@@ -32,7 +32,7 @@ bool fails_safely(const Compressor& codec,
                   const std::vector<std::uint8_t>& corrupted,
                   const std::string& expected) {
   try {
-    const auto out = codec.decompress_str(corrupted);
+    const auto out = bytes_to_string(codec.decompress(corrupted));
     return out != expected;
   } catch (const std::exception&) {
     return true;
@@ -44,7 +44,7 @@ class RobustnessTest : public ::testing::TestWithParam<const char*> {};
 TEST_P(RobustnessTest, SurvivesRandomBitFlips) {
   const auto codec = make_compressor(GetParam());
   const std::string input = test_sequence(8000, 101);
-  const auto good = codec->compress_str(input);
+  const auto good = codec->compress(as_byte_span(input));
   util::Xoshiro256 rng(7);
   for (int trial = 0; trial < 200; ++trial) {
     auto bad = good;
@@ -57,7 +57,7 @@ TEST_P(RobustnessTest, SurvivesRandomBitFlips) {
     // Must not crash; silent identical output is only acceptable when the
     // flips landed in dead padding, which we don't count as corruption.
     try {
-      (void)codec->decompress_str(bad);
+      (void)bytes_to_string(codec->decompress(bad));
     } catch (const std::exception&) {
       // loud failure: fine
     }
@@ -68,7 +68,7 @@ TEST_P(RobustnessTest, SurvivesRandomBitFlips) {
 TEST_P(RobustnessTest, SurvivesTruncationAtEveryPrefix) {
   const auto codec = make_compressor(GetParam());
   const std::string input = test_sequence(2000, 103);
-  const auto good = codec->compress_str(input);
+  const auto good = codec->compress(as_byte_span(input));
   // Every prefix length, including 0.
   for (std::size_t len = 0; len < good.size(); ++len) {
     const std::vector<std::uint8_t> cut(good.begin(),
@@ -82,10 +82,10 @@ TEST_P(RobustnessTest, SurvivesTrailingGarbage) {
   // Decoders must either ignore or reject appended bytes, not misbehave.
   const auto codec = make_compressor(GetParam());
   const std::string input = test_sequence(3000, 107);
-  auto padded = codec->compress_str(input);
+  auto padded = codec->compress(as_byte_span(input));
   for (int i = 0; i < 64; ++i) padded.push_back(0xA5);
   try {
-    const auto out = codec->decompress_str(padded);
+    const auto out = bytes_to_string(codec->decompress(padded));
     // If it decodes, it must decode correctly — the header carries the
     // exact original size, so trailing bytes are ignorable.
     EXPECT_EQ(out, input);
@@ -97,7 +97,7 @@ TEST_P(RobustnessTest, SurvivesTrailingGarbage) {
 TEST_P(RobustnessTest, SurvivesAllZeroAndAllOnesBodies) {
   const auto codec = make_compressor(GetParam());
   const std::string input = test_sequence(1000, 109);
-  const auto good = codec->compress_str(input);
+  const auto good = codec->compress(as_byte_span(input));
   for (const std::uint8_t fill : {std::uint8_t{0x00}, std::uint8_t{0xFF}}) {
     auto bad = good;
     // Keep the header, wipe the body.

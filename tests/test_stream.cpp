@@ -1,0 +1,491 @@
+// Streaming codec engine: chunk adapters, byte-identity with the DCB
+// container, truncation/corruption handling, bounded working-set metering,
+// the pipelined exchange upload path, and the Result-based codec API
+// surface (try_*, decompress_auto, registry unification).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cloud/blob_store.h"
+#include "cloud/transfer_model.h"
+#include "cloud/vm.h"
+#include "compressors/compressor.h"
+#include "compressors/container.h"
+#include "exchange/service.h"
+#include "sequence/generator.h"
+#include "stream/chunk_io.h"
+#include "stream/streaming.h"
+#include "util/memory_tracker.h"
+#include "util/result.h"
+#include "util/thread_pool.h"
+
+namespace dnacomp::stream {
+namespace {
+
+namespace cmp = dnacomp::compressors;
+
+std::vector<std::uint8_t> dna_bytes(std::size_t length, std::uint64_t seed) {
+  sequence::GeneratorParams gp;
+  gp.length = length;
+  gp.seed = seed;
+  const auto text = sequence::generate_dna(gp);
+  return {text.begin(), text.end()};
+}
+
+std::vector<std::uint8_t> blocked_reference(const cmp::Compressor& codec,
+                                            std::span<const std::uint8_t> in,
+                                            std::size_t block_bytes) {
+  util::ThreadPool pool(2);
+  return cmp::compress_blocked(codec, in, pool, block_bytes);
+}
+
+// ------------------------------------------------------------ chunk I/O
+
+TEST(ChunkIo, MemorySourceDribblesAndEnds) {
+  const std::vector<std::uint8_t> data{1, 2, 3, 4, 5};
+  MemorySource src({data.data(), data.size()}, 2);
+  std::vector<std::uint8_t> buf(5, 0);
+  EXPECT_EQ(src.read({buf.data(), buf.size()}), 2u);  // capped
+  EXPECT_EQ(src.read({buf.data() + 2, 3}), 2u);
+  EXPECT_EQ(src.read({buf.data() + 4, 1}), 1u);
+  EXPECT_EQ(src.read({buf.data(), buf.size()}), 0u);  // EOF is sticky
+  EXPECT_EQ(src.read({buf.data(), buf.size()}), 0u);
+  EXPECT_EQ(buf, data);
+}
+
+TEST(ChunkIo, ReadExactlyAssemblesShortReads) {
+  const std::vector<std::uint8_t> data{9, 8, 7, 6, 5, 4, 3};
+  MemorySource src({data.data(), data.size()}, 1);  // maximal dribble
+  std::vector<std::uint8_t> buf(7, 0);
+  EXPECT_EQ(read_exactly(src, {buf.data(), buf.size()}), 7u);
+  EXPECT_EQ(buf, data);
+  EXPECT_EQ(read_exactly(src, {buf.data(), buf.size()}), 0u);
+}
+
+TEST(ChunkIo, BoundedRingDrainsAfterClose) {
+  BoundedRing ring(8);
+  const std::vector<std::uint8_t> data{1, 2, 3, 4, 5};
+  ring.write({data.data(), data.size()});
+  EXPECT_EQ(ring.buffered(), 5u);
+  ring.close();
+  std::vector<std::uint8_t> out(8, 0);
+  EXPECT_EQ(ring.read({out.data(), out.size()}), 5u);
+  EXPECT_EQ(ring.read({out.data(), out.size()}), 0u);  // closed + empty
+  EXPECT_TRUE(std::equal(data.begin(), data.end(), out.begin()));
+}
+
+TEST(ChunkIo, BoundedRingBackpressuresAcrossThreads) {
+  // Capacity far below the transfer size: the producer must block until the
+  // consumer drains, and every byte must arrive in order.
+  const auto data = dna_bytes(50'000, 11);
+  BoundedRing ring(97);
+  std::thread producer([&] {
+    std::size_t pos = 0;
+    while (pos < data.size()) {
+      const std::size_t n = std::min<std::size_t>(13, data.size() - pos);
+      ring.write({data.data() + pos, n});
+      pos += n;
+    }
+    ring.close();
+  });
+  std::vector<std::uint8_t> out(data.size(), 0);
+  const std::size_t got = read_exactly(ring, {out.data(), out.size()});
+  producer.join();
+  EXPECT_EQ(got, data.size());
+  EXPECT_EQ(out, data);
+}
+
+// ------------------------------------------------- byte-identity matrix
+
+TEST(StreamingCompressor, ByteIdenticalToBlockedForEveryCodec) {
+  const auto data = dna_bytes(40'000, 3);
+  constexpr std::size_t kBlock = 8192;
+  for (const auto name : cmp::list_algorithm_names()) {
+    SCOPED_TRACE(std::string(name));
+    const auto codec = cmp::make_compressor(name);
+    ASSERT_NE(codec, nullptr);
+    const auto want = blocked_reference(*codec, {data.data(), data.size()},
+                                        kBlock);
+    MemorySource src({data.data(), data.size()});
+    StreamOptions opts;
+    opts.block_bytes = kBlock;
+    opts.threads = 2;
+    const auto got = compress_to_vector(*codec, src, opts);
+    ASSERT_TRUE(got.has_value()) << got.error().message;
+    EXPECT_EQ(*got, want);
+  }
+}
+
+TEST(StreamingCompressor, ByteIdenticalUnderDribbleAndOddGeometry) {
+  const auto data = dna_bytes(10'000, 21);
+  const auto codec = cmp::make_compressor("dnax");
+  struct Case {
+    std::size_t block_bytes;
+    std::size_t max_read;
+  };
+  // chunk == 1 (maximal dribble), block == 1 (one base per block), block
+  // larger than the whole input (single-block container).
+  for (const Case c : {Case{4096, 1}, Case{1, 0}, Case{1 << 20, 7}}) {
+    SCOPED_TRACE(c.block_bytes);
+    const auto want = blocked_reference(*codec, {data.data(), data.size()},
+                                        c.block_bytes);
+    MemorySource src({data.data(), data.size()}, c.max_read);
+    StreamOptions opts;
+    opts.block_bytes = c.block_bytes;
+    opts.pipeline_depth = 2;
+    opts.threads = 2;
+    const auto got = compress_to_vector(*codec, src, opts);
+    ASSERT_TRUE(got.has_value()) << got.error().message;
+    EXPECT_EQ(*got, want);
+  }
+}
+
+TEST(StreamingCompressor, BlocksArriveInOrderWithPayloads) {
+  const auto data = dna_bytes(20'000, 5);
+  const auto codec = cmp::make_compressor("naive2");
+  StreamOptions opts;
+  opts.block_bytes = 4096;
+  StreamingCompressor engine(*codec, opts);
+  MemorySource src({data.data(), data.size()});
+  std::size_t next = 0;
+  std::uint64_t plain_total = 0;
+  const auto res = engine.compress(src, [&](const SealedBlock& b) {
+    EXPECT_EQ(b.index, next++);
+    EXPECT_FALSE(b.payload.empty());
+    plain_total += b.plain_len;
+  });
+  ASSERT_TRUE(res.has_value()) << res.error().message;
+  EXPECT_EQ(next, res->block_count);
+  EXPECT_EQ(plain_total, data.size());
+  EXPECT_EQ(res->block_ms.size(), res->block_count);
+  EXPECT_FALSE(res->header.empty());
+}
+
+TEST(StreamingCompressor, NonDnaInputReportsNotDna) {
+  const std::string bad = "ACGTACGTXXACGT";
+  const auto codec = cmp::make_compressor("dnax");
+  MemorySource src(cmp::as_byte_span(bad));
+  const auto res = compress_to_vector(*codec, src);
+  ASSERT_FALSE(res.has_value());
+  EXPECT_EQ(res.error().code, cmp::CodecErrorCode::kNotDna);
+}
+
+// ----------------------------------------------------- streaming decode
+
+TEST(StreamingDecompressor, RoundTripsSelfDetecting) {
+  const auto data = dna_bytes(30'000, 9);
+  for (const char* name : {"dnax", "gzip", "naive2"}) {
+    SCOPED_TRACE(name);
+    const auto codec = cmp::make_compressor(name);
+    const auto stream = blocked_reference(*codec, {data.data(), data.size()},
+                                          4096);
+    // Dribbling source: the decoder must reassemble header and payloads
+    // from arbitrarily small reads.
+    MemorySource src({stream.data(), stream.size()}, 3);
+    std::vector<std::uint8_t> out;
+    MemorySink sink(out);
+    StreamingDecompressor engine({.block_bytes = 4096, .threads = 2});
+    const auto res = engine.decompress(src, sink);
+    ASSERT_TRUE(res.has_value()) << res.error().message;
+    EXPECT_EQ(out, data);
+    EXPECT_EQ(res->plain_bytes, data.size());
+    EXPECT_EQ(res->stream_bytes, stream.size());
+  }
+}
+
+TEST(StreamingDecompressor, EveryTruncationPrefixIsTruncatedError) {
+  const auto data = dna_bytes(1500, 2);
+  const auto codec = cmp::make_compressor("naive2");
+  const auto stream = blocked_reference(*codec, {data.data(), data.size()},
+                                        512);
+  ASSERT_GT(stream.size(), 16u);
+  for (std::size_t cut = 0; cut < stream.size(); ++cut) {
+    MemorySource src({stream.data(), cut});
+    std::vector<std::uint8_t> out;
+    MemorySink sink(out);
+    StreamingDecompressor engine({.block_bytes = 512});
+    const auto res = engine.decompress(src, sink);
+    ASSERT_FALSE(res.has_value()) << "prefix " << cut << " decoded";
+    EXPECT_EQ(res.error().code, cmp::CodecErrorCode::kTruncated)
+        << "prefix " << cut << ": " << res.error().message;
+  }
+}
+
+TEST(StreamingDecompressor, PayloadCorruptionIsCaughtByBlockCrc) {
+  const auto data = dna_bytes(4000, 13);
+  // naive2 is a plain 2-bit pack: a flipped payload byte still decodes to
+  // plausible bases, so only the per-block CRC can catch it.
+  const auto codec = cmp::make_compressor("naive2");
+  auto stream = blocked_reference(*codec, {data.data(), data.size()}, 1024);
+  stream[stream.size() - 5] ^= 0x40;
+  MemorySource src({stream.data(), stream.size()});
+  std::vector<std::uint8_t> out;
+  MemorySink sink(out);
+  StreamingDecompressor engine({.block_bytes = 1024});
+  const auto res = engine.decompress(src, sink);
+  ASSERT_FALSE(res.has_value());
+  EXPECT_EQ(res.error().code, cmp::CodecErrorCode::kCorruptStream);
+}
+
+TEST(StreamingDecompressor, NonDcbBytesAreBadMagic) {
+  const std::vector<std::uint8_t> junk{'n', 'o', 't', 'd', 'c', 'b'};
+  MemorySource src({junk.data(), junk.size()});
+  std::vector<std::uint8_t> out;
+  MemorySink sink(out);
+  StreamingDecompressor engine;
+  const auto res = engine.decompress(src, sink);
+  ASSERT_FALSE(res.has_value());
+  EXPECT_EQ(res.error().code, cmp::CodecErrorCode::kBadMagic);
+}
+
+// ------------------------------------------------------ bounded memory
+
+TEST(Streaming, WorkingSetStaysBoundedVsWholeBuffer) {
+  const auto data = dna_bytes(2'000'000, 17);
+  const auto codec = cmp::make_compressor("naive2");
+  constexpr std::size_t kBlock = 64 * 1024;
+
+  // Whole-buffer DCB holds every payload plus the assembled stream.
+  util::TrackingResource whole_mem;
+  const auto whole = [&] {
+    util::ThreadPool pool(2);
+    return cmp::compress_blocked(*codec, {data.data(), data.size()}, pool,
+                                 kBlock, &whole_mem);
+  }();
+
+  // Streaming with a discarding callback: nothing outlives the window of
+  // pipeline_depth in-flight blocks.
+  util::TrackingResource stream_mem;
+  StreamOptions opts;
+  opts.block_bytes = kBlock;
+  opts.pipeline_depth = 2;
+  opts.threads = 2;
+  StreamingCompressor engine(*codec, opts);
+  MemorySource src({data.data(), data.size()});
+  std::uint64_t stream_bytes = 0;
+  const auto res = engine.compress(
+      src,
+      [&](const SealedBlock& b) { stream_bytes += b.payload.size(); },
+      &stream_mem);
+  ASSERT_TRUE(res.has_value()) << res.error().message;
+  EXPECT_EQ(stream_bytes + res->header.size(), whole.size());
+
+  // The streaming peak is a few blocks; the whole-buffer peak covers the
+  // full compressed artifact and then some.
+  EXPECT_LT(stream_mem.peak_bytes(), data.size() / 4);
+  EXPECT_GT(whole_mem.peak_bytes(), stream_mem.peak_bytes() * 2);
+}
+
+// -------------------------------------------------- pipelined exchange
+
+exchange::ExchangeService make_pipelined_service(
+    cloud::BlobStore& store, exchange::ExchangeServiceOptions opts) {
+  return exchange::ExchangeService(store, nullptr, {"dnax"}, opts);
+}
+
+TEST(PipelinedExchange, RoundTripsUnderFaultsByteIdenticalToBlocked) {
+  cloud::BlobStore store;
+  exchange::ExchangeServiceOptions opts;
+  opts.threads = 2;
+  opts.dcb_threads = 2;
+  opts.dcb_threshold_bytes = 16 * 1024;
+  opts.dcb_block_bytes = 16 * 1024;
+  opts.pipelined_upload = true;
+  opts.pipeline_depth = 3;
+  opts.faults.drop_probability = 0.10;
+  opts.faults.seed = 42;
+  auto service = make_pipelined_service(store, opts);
+
+  const auto codec = cmp::make_compressor("dnax");
+  cloud::VmSpec ctx;
+  ctx.ram_gb = 4.0;
+  ctx.cpu_ghz = 2.4;
+  ctx.bandwidth_mbps = 8.0;
+
+  std::size_t pipelined = 0;
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    const auto data = dna_bytes(90'000 + 1000 * seed, seed);
+    exchange::ExchangeRequest req;
+    req.sequence = data;
+    req.context = ctx;
+    const auto rep = service.run(std::move(req));
+    ASSERT_EQ(rep.status, exchange::ExchangeStatus::kOk)
+        << "seed " << seed << ": " << rep.error;
+    EXPECT_TRUE(rep.verified);
+    EXPECT_TRUE(rep.blocked);
+    if (!rep.pipelined) continue;  // cache hits skip the streamed path
+    ++pipelined;
+    EXPECT_GT(rep.simulated_pipeline_ms, 0.0);
+    EXPECT_GT(rep.simulated_sequential_ms, 0.0);
+
+    // The committed blob must be byte-identical to the whole-buffer DCB
+    // artifact for the same codec and geometry.
+    const auto blob = store.get_blob(service.options().container,
+                                     rep.blob_name);
+    ASSERT_TRUE(blob.has_value());
+    const auto want = blocked_reference(*codec, {data.data(), data.size()},
+                                        opts.dcb_block_bytes);
+    EXPECT_EQ(*blob, want) << "seed " << seed;
+    EXPECT_EQ(rep.payload_bytes, want.size());
+  }
+  EXPECT_GT(pipelined, 0u);
+}
+
+TEST(PipelinedExchange, BadInputSurfacesTypedError) {
+  cloud::BlobStore store;
+  exchange::ExchangeServiceOptions opts;
+  opts.threads = 1;
+  opts.dcb_threads = 2;
+  opts.dcb_threshold_bytes = 4 * 1024;
+  opts.dcb_block_bytes = 4 * 1024;
+  opts.pipelined_upload = true;
+  auto service = make_pipelined_service(store, opts);
+
+  exchange::ExchangeRequest req;
+  req.sequence.assign(20'000, std::uint8_t{'Z'});  // not DNA
+  req.context.ram_gb = 4.0;
+  req.context.cpu_ghz = 2.4;
+  req.context.bandwidth_mbps = 8.0;
+  const auto rep = service.run(std::move(req));
+  EXPECT_EQ(rep.status, exchange::ExchangeStatus::kBadInput);
+  EXPECT_FALSE(rep.error.empty());
+  EXPECT_TRUE(store.list_blobs(service.options().container).empty());
+}
+
+TEST(PipelinedExchange, OverlapModelRewardsCompressionHeavyStreams) {
+  // Sanity for the TransferModel recurrence itself: when compression time
+  // dominates, overlapping upload with compression beats compressing
+  // everything first.
+  cloud::TransferModel model;
+  cloud::VmSpec ctx;
+  ctx.ram_gb = 4.0;
+  ctx.cpu_ghz = 2.4;
+  ctx.bandwidth_mbps = 8.0;
+  const std::vector<double> compress_ms(16, 50.0);
+  const std::vector<std::size_t> sizes(16, 64 * 1024);
+  const double pipelined = model.upload_pipelined_ms(
+      {compress_ms.data(), compress_ms.size()}, {sizes.data(), sizes.size()},
+      ctx);
+  const double total_compress = 16 * 50.0;
+  const double sequential =
+      total_compress +
+      model.upload_time_blocked_ms(16 * 64 * 1024, 16, ctx);
+  EXPECT_LT(pipelined, sequential);
+}
+
+// --------------------------------------------- Result-based codec API
+
+TEST(ResultApi, TryCompressClassifiesNonDna) {
+  const auto codec = cmp::make_compressor("dnax");
+  const auto res = codec->try_compress(cmp::as_byte_span("ACGTNNNN"));
+  ASSERT_FALSE(res.has_value());
+  EXPECT_EQ(res.error().code, cmp::CodecErrorCode::kNotDna);
+}
+
+TEST(ResultApi, TryDecompressClassifiesFraming) {
+  const auto codec = cmp::make_compressor("gzip");
+  const auto packed = codec->compress(cmp::as_byte_span("ACGTACGTACGT"));
+
+  const auto bad = codec->try_decompress(cmp::as_byte_span("xxxxxx"));
+  ASSERT_FALSE(bad.has_value());
+  EXPECT_EQ(bad.error().code, cmp::CodecErrorCode::kBadMagic);
+
+  const auto cut = codec->try_decompress({packed.data(), 3});
+  ASSERT_FALSE(cut.has_value());
+  EXPECT_EQ(cut.error().code, cmp::CodecErrorCode::kTruncated);
+
+  const auto wrong = cmp::make_compressor("dnax")->try_decompress(
+      {packed.data(), packed.size()});
+  ASSERT_FALSE(wrong.has_value());
+  EXPECT_EQ(wrong.error().code, cmp::CodecErrorCode::kWrongAlgorithm);
+
+  const auto ok = codec->try_decompress({packed.data(), packed.size()});
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(cmp::bytes_to_string(*ok), "ACGTACGTACGT");
+}
+
+TEST(ResultApi, DecompressAutoSniffsMonoAndContainer) {
+  const auto data = dna_bytes(12'000, 4);
+  for (const auto name : cmp::list_algorithm_names()) {
+    SCOPED_TRACE(std::string(name));
+    const auto codec = cmp::make_compressor(name);
+    const auto mono = codec->compress({data.data(), data.size()});
+    const auto from_mono = cmp::decompress_auto({mono.data(), mono.size()});
+    ASSERT_TRUE(from_mono.has_value()) << from_mono.error().message;
+    EXPECT_EQ(*from_mono, data);
+
+    const auto dcb = blocked_reference(*codec, {data.data(), data.size()},
+                                       4096);
+    const auto from_dcb = cmp::decompress_auto({dcb.data(), dcb.size()});
+    ASSERT_TRUE(from_dcb.has_value()) << from_dcb.error().message;
+    EXPECT_EQ(*from_dcb, data);
+  }
+}
+
+TEST(ResultApi, DecompressAutoRejectsVerticalStreams) {
+  // Minimal vertical header: magic, reserved id 6, varint original size,
+  // varint reference fingerprint. Undecodable without the reference.
+  const std::vector<std::uint8_t> vertical{'D', 'C', 6, 5, 0};
+  const auto res = cmp::decompress_auto({vertical.data(), vertical.size()});
+  ASSERT_FALSE(res.has_value());
+  EXPECT_EQ(res.error().code, cmp::CodecErrorCode::kWrongAlgorithm);
+}
+
+TEST(ResultApi, SelfDetectingHeaderReportsStoredAlgorithm) {
+  const auto codec = cmp::make_compressor("gzip");
+  const auto packed = codec->compress(cmp::as_byte_span("ACGT"));
+  const auto header = cmp::read_header({packed.data(), packed.size()});
+  EXPECT_EQ(header.algorithm, cmp::AlgorithmId::kGzipX);
+  EXPECT_EQ(header.original_size, 4u);
+  EXPECT_GT(header.header_bytes, 0u);
+}
+
+TEST(ResultApi, RegistryUnifiesNamesAndIds) {
+  const auto names = cmp::list_algorithm_names();
+  EXPECT_EQ(names.size(), 8u);
+  for (const auto name : names) {
+    const auto by_name = cmp::make_compressor(name);
+    ASSERT_NE(by_name, nullptr) << name;
+    EXPECT_EQ(by_name->name(), name);
+    const auto by_id = cmp::make_compressor(by_name->id());
+    ASSERT_NE(by_id, nullptr) << name;
+    EXPECT_EQ(by_id->name(), name);
+  }
+  EXPECT_EQ(cmp::make_compressor("no-such-codec"), nullptr);
+  // Reserved / unknown ids do not resolve.
+  EXPECT_EQ(cmp::make_compressor(static_cast<cmp::AlgorithmId>(6)), nullptr);
+  EXPECT_EQ(cmp::make_compressor(static_cast<cmp::AlgorithmId>(0)), nullptr);
+  EXPECT_EQ(cmp::make_compressor(static_cast<cmp::AlgorithmId>(200)),
+            nullptr);
+}
+
+TEST(ResultApi, ResultTypeBasics) {
+  using R = util::Result<int, std::string>;
+  const R ok = R::ok(7);
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(*ok, 7);
+  EXPECT_EQ(ok.value_or(0), 7);
+  const auto mapped = ok.map([](int v) { return v * 2; });
+  ASSERT_TRUE(mapped.has_value());
+  EXPECT_EQ(mapped.value(), 14);
+
+  const R err = R::err("nope");
+  ASSERT_FALSE(err.has_value());
+  EXPECT_EQ(err.error(), "nope");
+  EXPECT_EQ(err.value_or(3), 3);
+  const auto chained =
+      err.and_then([](int v) -> R { return R::ok(v + 1); });
+  EXPECT_FALSE(chained.has_value());
+
+  util::Result<void, std::string> vok;
+  EXPECT_TRUE(vok.has_value());
+  const auto verr = util::Result<void, std::string>::err("boom");
+  ASSERT_FALSE(verr.has_value());
+  EXPECT_EQ(verr.error(), "boom");
+}
+
+}  // namespace
+}  // namespace dnacomp::stream
